@@ -1,0 +1,301 @@
+//! Energy-harvesting supplies and storage (paper §2).
+//!
+//! The 100 µW power target exists so the node can run "indefinitely off
+//! of energy scavenged from the environment": vibration harvesters
+//! deliver on the order of 100 µW for mote-sized devices (Roundy et
+//! al.), and the PicoRadio beacon demonstrated solar+vibration supplies.
+//! These models close the loop: given a simulated node's average power,
+//! is the deployment untethered-sustainable?
+
+use ulp_sim::{Energy, Power, Seconds, Voltage};
+
+/// A time-varying environmental energy source.
+pub trait EnergySource {
+    /// Instantaneous harvested power at time `t` since deployment.
+    fn power_at(&self, t: Seconds) -> Power;
+}
+
+/// A solar panel: half-sine output during daytime, nothing at night.
+#[derive(Debug, Clone, Copy)]
+pub struct SolarPanel {
+    /// Peak output at solar noon.
+    pub peak: Power,
+    /// Full day period (86 400 s for Earth deployments).
+    pub day: Seconds,
+}
+
+impl EnergySource for SolarPanel {
+    fn power_at(&self, t: Seconds) -> Power {
+        let phase = (t.0 / self.day.0).fract();
+        if phase < 0.5 {
+            // Daytime: half-sine from dawn (0) to dusk (0.5).
+            let x = phase * 2.0 * std::f64::consts::PI;
+            self.peak * x.sin().max(0.0)
+        } else {
+            Power::ZERO
+        }
+    }
+}
+
+/// A vibration harvester: roughly constant output while the structure
+/// vibrates (the ~100 µW figure the paper's target is based on).
+#[derive(Debug, Clone, Copy)]
+pub struct VibrationHarvester {
+    /// Average harvested power.
+    pub average: Power,
+}
+
+impl EnergySource for VibrationHarvester {
+    fn power_at(&self, _t: Seconds) -> Power {
+        self.average
+    }
+}
+
+/// Sum of two sources (solar by day, vibration round the clock).
+#[derive(Debug, Clone, Copy)]
+pub struct Combined<A, B> {
+    /// First source.
+    pub a: A,
+    /// Second source.
+    pub b: B,
+}
+
+impl<A: EnergySource, B: EnergySource> EnergySource for Combined<A, B> {
+    fn power_at(&self, t: Seconds) -> Power {
+        self.a.power_at(t) + self.b.power_at(t)
+    }
+}
+
+/// An energy buffer (supercapacitor or small secondary cell).
+#[derive(Debug, Clone, Copy)]
+pub struct Storage {
+    /// Usable capacity.
+    pub capacity: Energy,
+    /// Current stored energy.
+    pub level: Energy,
+}
+
+impl Storage {
+    /// A full store of the given capacity.
+    pub fn full(capacity: Energy) -> Storage {
+        Storage {
+            capacity,
+            level: capacity,
+        }
+    }
+
+    /// Add harvested energy (clamped at capacity).
+    pub fn deposit(&mut self, e: Energy) {
+        self.level = Energy::from_joules((self.level + e).joules().min(self.capacity.joules()));
+    }
+
+    /// Draw energy; returns `false` (and empties the store) if there was
+    /// not enough.
+    pub fn withdraw(&mut self, e: Energy) -> bool {
+        if self.level.joules() >= e.joules() {
+            self.level = self.level - e;
+            true
+        } else {
+            self.level = Energy::ZERO;
+            false
+        }
+    }
+
+    /// Stored fraction (0–1).
+    pub fn fraction(&self) -> f64 {
+        if self.capacity.joules() <= 0.0 {
+            0.0
+        } else {
+            self.level.joules() / self.capacity.joules()
+        }
+    }
+}
+
+/// Result of an untethered-operation simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct HarvestReport {
+    /// Fraction of the simulated span the node could run.
+    pub uptime: f64,
+    /// Lowest storage level observed.
+    pub min_level: Energy,
+    /// Storage level at the end.
+    pub final_level: Energy,
+    /// Total energy harvested.
+    pub harvested: Energy,
+    /// Total energy consumed by the load while up.
+    pub consumed: Energy,
+}
+
+/// Simulate a node drawing `load` continuously from `storage`, refilled
+/// by `source`, over `duration` in steps of `step`. The node browns out
+/// while the store is empty and restarts as soon as one step's load can
+/// be covered again.
+///
+/// # Panics
+///
+/// Panics if `step` or `duration` is non-positive.
+pub fn simulate_untethered(
+    source: &dyn EnergySource,
+    mut storage: Storage,
+    load: Power,
+    step: Seconds,
+    duration: Seconds,
+) -> HarvestReport {
+    assert!(step.0 > 0.0 && duration.0 > 0.0, "positive times required");
+    let steps = (duration.0 / step.0).ceil() as u64;
+    let mut up_steps = 0u64;
+    let mut min_level = storage.level;
+    let mut harvested = Energy::ZERO;
+    let mut consumed = Energy::ZERO;
+    for i in 0..steps {
+        let t = Seconds(i as f64 * step.0);
+        let income = source.power_at(t) * step;
+        harvested += income;
+        storage.deposit(income);
+        let need = load * step;
+        if storage.withdraw(need) {
+            up_steps += 1;
+            consumed += need;
+        }
+        if storage.level < min_level {
+            min_level = storage.level;
+        }
+    }
+    HarvestReport {
+        uptime: up_steps as f64 / steps as f64,
+        min_level,
+        final_level: storage.level,
+        harvested,
+        consumed,
+    }
+}
+
+/// Lifetime of a primary battery at a constant average load — the paper's
+/// motivation numbers (two AA cells ≈ 2850 mAh at 3 V).
+///
+/// # Panics
+///
+/// Panics if `avg_power` is zero.
+pub fn battery_lifetime(capacity_mah: f64, supply: Voltage, avg_power: Power) -> Seconds {
+    assert!(avg_power.watts() > 0.0, "load must be positive");
+    let capacity_j = capacity_mah * 1e-3 * 3600.0 * supply.volts();
+    Seconds(capacity_j / avg_power.watts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: f64 = 86_400.0;
+
+    #[test]
+    fn solar_peaks_at_noon_and_sleeps_at_night() {
+        let p = SolarPanel {
+            peak: Power::from_uw(500.0),
+            day: Seconds(DAY),
+        };
+        let noon = p.power_at(Seconds(DAY * 0.25));
+        assert!((noon.uw() - 500.0).abs() < 1.0);
+        assert_eq!(p.power_at(Seconds(DAY * 0.75)), Power::ZERO);
+        // Periodic across days.
+        let tomorrow = p.power_at(Seconds(DAY * 1.25));
+        assert!((tomorrow.uw() - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn vibration_is_constant() {
+        let v = VibrationHarvester {
+            average: Power::from_uw(100.0),
+        };
+        assert_eq!(v.power_at(Seconds(0.0)), v.power_at(Seconds(1e6)));
+    }
+
+    #[test]
+    fn storage_clamps_and_empties() {
+        let mut s = Storage::full(Energy::from_joules(10.0));
+        s.deposit(Energy::from_joules(5.0));
+        assert_eq!(s.level.joules(), 10.0, "clamped at capacity");
+        assert!(s.withdraw(Energy::from_joules(4.0)));
+        assert!((s.fraction() - 0.6).abs() < 1e-12);
+        assert!(!s.withdraw(Energy::from_joules(100.0)));
+        assert_eq!(s.level, Energy::ZERO);
+    }
+
+    #[test]
+    fn vibration_sustains_sub_100uw_load() {
+        // The paper's thesis: a ~2 µW node runs indefinitely off a
+        // 100 µW harvester.
+        let src = VibrationHarvester {
+            average: Power::from_uw(100.0),
+        };
+        let report = simulate_untethered(
+            &src,
+            Storage::full(Energy::from_joules(1.0)),
+            Power::from_uw(2.0),
+            Seconds(60.0),
+            Seconds(DAY * 7.0),
+        );
+        assert_eq!(report.uptime, 1.0);
+        assert!(
+            report.final_level.joules() > 0.999,
+            "store effectively full: {}",
+            report.final_level.joules()
+        );
+    }
+
+    #[test]
+    fn mica2_load_browns_out_on_the_same_harvester() {
+        // A Mica2-class load (≈ 10 mW with idle sleep) cannot live on
+        // 100 µW.
+        let src = VibrationHarvester {
+            average: Power::from_uw(100.0),
+        };
+        let report = simulate_untethered(
+            &src,
+            Storage::full(Energy::from_joules(1.0)),
+            Power::from_mw(10.0),
+            Seconds(60.0),
+            Seconds(DAY),
+        );
+        assert!(report.uptime < 0.05, "uptime {}", report.uptime);
+    }
+
+    #[test]
+    fn solar_day_night_cycle_needs_storage() {
+        let src = SolarPanel {
+            peak: Power::from_uw(300.0),
+            day: Seconds(DAY),
+        };
+        // Average solar income: peak × (1/π) ≈ 95 µW; a 50 µW load is
+        // sustainable with a store that rides through the night.
+        let big_store = Storage::full(Energy::from_joules(5.0));
+        let report = simulate_untethered(
+            &src,
+            big_store,
+            Power::from_uw(50.0),
+            Seconds(600.0),
+            Seconds(DAY * 3.0),
+        );
+        assert!(report.uptime > 0.99, "uptime {}", report.uptime);
+        // A tiny store browns out at night.
+        let small = Storage::full(Energy::from_joules(0.05));
+        let report = simulate_untethered(
+            &src,
+            small,
+            Power::from_uw(50.0),
+            Seconds(600.0),
+            Seconds(DAY * 3.0),
+        );
+        assert!(report.uptime < 0.9, "uptime {}", report.uptime);
+    }
+
+    #[test]
+    fn battery_lifetime_scales() {
+        // Two AA (2850 mAh, 3 V) at 24 mW (Mica2 active): ~1.5 weeks.
+        let mica = battery_lifetime(2850.0, Voltage::from_volts(3.0), Power::from_mw(24.0));
+        assert!((mica.0 / 86_400.0) < 16.0);
+        // The same cells at 2 µW: centuries (self-discharge aside).
+        let ulp = battery_lifetime(2850.0, Voltage::from_volts(3.0), Power::from_uw(2.0));
+        assert!(ulp.0 / (86_400.0 * 365.0) > 100.0);
+    }
+}

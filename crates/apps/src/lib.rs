@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! The paper's test applications, mapped to both platforms.
+//!
+//! §6.1.2 builds one monitoring application in four stages:
+//!
+//! 1. periodically collect samples and transmit packets;
+//! 2. \+ threshold filtering;
+//! 3. \+ receive and forward messages from other nodes;
+//! 4. \+ receive and handle reconfiguration messages (sampling period and
+//!    filter threshold) — the *irregular* events that wake the
+//!    general-purpose microcontroller.
+//!
+//! §6.1.3 adds the two SNAP-comparison micro-apps, `blink` and `sense`.
+//!
+//! [`ulp`] expresses each application as event-processor ISRs (plus an
+//! AVR handler for stage 4) for the paper's architecture; [`mica`]
+//! expresses the same applications against the TinyOS-style runtime on
+//! the Mica2 baseline. [`workload`] reproduces the Figure 6 duty-cycle
+//! power analysis, and [`harvest`] models the energy-scavenging supplies
+//! (§2) that motivate the 100 µW target.
+
+pub mod harvest;
+pub mod mica;
+pub mod ulp;
+pub mod workload;
+
+pub use ulp::{AppStage, MonitoringConfig, UlpProgram};

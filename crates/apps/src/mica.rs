@@ -1,0 +1,489 @@
+//! The test applications on the Mica2 baseline (TinyOS-style runtime).
+//!
+//! Each constructor returns a [`MicaApp`]: the assembled image plus the
+//! probe anchors used for the Table 4 cycle measurements. Applications
+//! mirror their event-driven counterparts in [`crate::ulp`] so the same
+//! stimulus produces the same observable behaviour (identical 802.15.4
+//! frames) on both platforms — only the cycle counts differ.
+
+use std::collections::BTreeMap;
+use ulp_isa::asm::Image;
+use ulp_mica::board::{Mica2Board, ProbeId};
+use ulp_mica::runtime::RuntimeBuilder;
+use ulp_sim::Cycles;
+
+/// A probe specification: name plus start/end symbols.
+#[derive(Debug, Clone)]
+pub struct ProbeSpec {
+    /// Probe name (Table 4 row).
+    pub name: &'static str,
+    /// Start symbol.
+    pub start: &'static str,
+    /// End symbol.
+    pub end: &'static str,
+}
+
+/// An assembled Mica2 application with its measurement probes.
+#[derive(Debug, Clone)]
+pub struct MicaApp {
+    /// Application name.
+    pub name: &'static str,
+    image: Image,
+    probes: Vec<ProbeSpec>,
+}
+
+impl MicaApp {
+    /// The assembled program image.
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// Total code size in bytes (the paper reports 11558 B for the full
+    /// TinyOS stage-4 application; our mini-runtime is leaner).
+    pub fn code_size(&self) -> usize {
+        self.image.byte_len()
+    }
+
+    /// Build an instrumented board with all probes installed.
+    pub fn board(
+        &self,
+        adc: Box<dyn FnMut(Cycles) -> u8 + Send>,
+    ) -> (Mica2Board, BTreeMap<&'static str, ProbeId>) {
+        let mut board = Mica2Board::new(&self.image, adc);
+        let mut ids = BTreeMap::new();
+        for p in &self.probes {
+            let id = board.probe_symbols(&self.image, p.name, p.start, p.end);
+            ids.insert(p.name, id);
+        }
+        (board, ids)
+    }
+}
+
+/// Soft-timer-0 initialisation fragment: fire every `ticks`, repeating,
+/// running `sample_task`; ADC completion continues at `send_task`.
+fn sampling_init(ticks: u16) -> String {
+    format!(
+        r#"
+    ; soft timer 0: period {ticks} ticks, repeating → sample_task
+    ldi r16, {lo}
+    sts TIMERS + 0, r16
+    sts TIMERS + 2, r16
+    ldi r16, {hi}
+    sts TIMERS + 1, r16
+    sts TIMERS + 3, r16
+    ldi r16, lo8(sample_task / 2)
+    sts TIMERS + 4, r16
+    ldi r16, hi8(sample_task / 2)
+    sts TIMERS + 5, r16
+    ; ADC completion continues at send_task
+    ldi r16, lo8(send_task / 2)
+    sts ADC_TASK, r16
+    ldi r16, hi8(send_task / 2)
+    sts ADC_TASK + 1, r16
+"#,
+        lo = ticks & 0xFF,
+        hi = ticks >> 8,
+    )
+}
+
+const SAMPLE_TASK: &str = r#"
+sample_task:
+    ldi r16, 1
+    out IO_ADC_CTRL, r16
+    ret
+"#;
+
+/// Application 1: periodically sample and transmit.
+pub fn app1(period_ticks: u16) -> MicaApp {
+    let builder = RuntimeBuilder::new(0x0001)
+        .app_init(sampling_init(period_ticks))
+        .app_code(format!(
+            r#"{SAMPLE_TASK}
+send_task:
+    lds r16, ADC_VALUE
+    sts SCRATCH, r16
+    ldi r20, 1
+    rcall am_send
+    ret
+"#
+        ));
+    MicaApp {
+        name: "app1-sample-send",
+        image: builder.build().expect("app1 assembles"),
+        probes: vec![ProbeSpec {
+            name: "send_path",
+            start: "isr_tick",
+            end: "am_handoff",
+        }],
+    }
+}
+
+/// Application 2: application 1 plus threshold filtering (in software,
+/// where the paper's architecture uses the filter slave).
+pub fn app2(period_ticks: u16, threshold: u8) -> MicaApp {
+    let mut init = sampling_init(period_ticks);
+    init.push_str(&format!(
+        "    ldi r16, {threshold}\n    sts APP_VARS, r16   ; threshold\n"
+    ));
+    let builder = RuntimeBuilder::new(0x0001).app_init(init).app_code(format!(
+        r#"{SAMPLE_TASK}
+.equ THRESHOLD, APP_VARS
+send_task:
+    lds r16, ADC_VALUE
+    lds r17, THRESHOLD
+    cp r16, r17
+    brlo send_skip          ; below threshold: drop the sample
+    sts SCRATCH, r16
+    ldi r20, 1
+    rcall am_send
+send_skip:
+    ret
+"#
+    ));
+    MicaApp {
+        name: "app2-filtered",
+        image: builder.build().expect("app2 assembles"),
+        probes: vec![ProbeSpec {
+            name: "send_path_filtered",
+            start: "isr_tick",
+            end: "am_handoff",
+        }],
+    }
+}
+
+/// Application 3: application 2 plus receive-and-forward.
+pub fn app3(period_ticks: u16, threshold: u8) -> MicaApp {
+    let mut init = sampling_init(period_ticks);
+    init.push_str(&format!(
+        "    ldi r16, {threshold}\n    sts APP_VARS, r16\n"
+    ));
+    let builder = RuntimeBuilder::new(0x0001)
+        .handles_rx(true)
+        .app_init(init)
+        .app_code(format!(
+            r#"{SAMPLE_TASK}
+.equ THRESHOLD, APP_VARS
+send_task:
+    lds r16, ADC_VALUE
+    lds r17, THRESHOLD
+    cp r16, r17
+    brlo send_skip
+    sts SCRATCH, r16
+    ldi r20, 1
+    rcall am_send
+send_skip:
+    ret
+app_rx_irregular:
+    ret
+"#
+        ));
+    MicaApp {
+        name: "app3-forwarding",
+        image: builder.build().expect("app3 assembles"),
+        probes: vec![
+            ProbeSpec {
+                name: "send_path_filtered",
+                start: "isr_tick",
+                end: "am_handoff",
+            },
+            ProbeSpec {
+                name: "process_regular",
+                start: "isr_rx",
+                end: "fwd_handoff",
+            },
+        ],
+    }
+}
+
+/// Application 4: application 3 plus remote reconfiguration. The payload
+/// format matches the event-driven platform: `[param, value_lo,
+/// value_hi]`, param 1 = sampling period (ticks), param 2 = threshold.
+pub fn app4(period_ticks: u16, threshold: u8) -> MicaApp {
+    let mut init = sampling_init(period_ticks);
+    init.push_str(&format!(
+        "    ldi r16, {threshold}\n    sts APP_VARS, r16\n"
+    ));
+    let builder = RuntimeBuilder::new(0x0001)
+        .handles_rx(true)
+        .app_init(init)
+        .app_code(format!(
+            r#"{SAMPLE_TASK}
+.equ THRESHOLD, APP_VARS
+send_task:
+    lds r16, ADC_VALUE
+    lds r17, THRESHOLD
+    cp r16, r17
+    brlo send_skip
+    sts SCRATCH, r16
+    ldi r20, 1
+    rcall am_send
+send_skip:
+    ret
+
+; ---- reconfiguration (irregular) messages ----
+app_rx_irregular:
+    lds r16, RXBUF + 9      ; param id
+cfg_dispatched:             ; PROBE ANCHOR: message decoded, handler chosen
+    cpi r16, 1
+    breq cfg_timer
+    cpi r16, 2
+    breq cfg_thresh
+    ret
+cfg_timer:
+    lds r17, RXBUF + 10     ; new period (ticks)
+    lds r18, RXBUF + 11
+tc_start:                   ; PROBE ANCHOR: the "timer change" segment
+    sts TIMERS + 0, r17
+    sts TIMERS + 1, r18
+    sts TIMERS + 2, r17
+    sts TIMERS + 3, r18
+tc_end:
+    ret
+cfg_thresh:
+    lds r17, RXBUF + 10
+th_start:                   ; PROBE ANCHOR: the "threshold change" segment
+    sts THRESHOLD, r17
+th_end:
+    ret
+"#
+        ));
+    MicaApp {
+        name: "app4-reconfigurable",
+        image: builder.build().expect("app4 assembles"),
+        probes: vec![
+            ProbeSpec {
+                name: "send_path_filtered",
+                start: "isr_tick",
+                end: "am_handoff",
+            },
+            ProbeSpec {
+                name: "process_regular",
+                start: "isr_rx",
+                end: "fwd_handoff",
+            },
+            ProbeSpec {
+                name: "process_irregular",
+                start: "isr_rx",
+                end: "cfg_dispatched",
+            },
+            ProbeSpec {
+                name: "timer_change",
+                start: "tc_start",
+                end: "tc_end",
+            },
+            ProbeSpec {
+                name: "threshold_change",
+                start: "th_start",
+                end: "th_end",
+            },
+        ],
+    }
+}
+
+/// The `blink` comparison app: a soft timer toggles the LED.
+pub fn blink(period_ticks: u16) -> MicaApp {
+    let init = format!(
+        r#"
+    ldi r16, {lo}
+    sts TIMERS + 0, r16
+    sts TIMERS + 2, r16
+    ldi r16, {hi}
+    sts TIMERS + 1, r16
+    sts TIMERS + 3, r16
+    ldi r16, lo8(blink_task / 2)
+    sts TIMERS + 4, r16
+    ldi r16, hi8(blink_task / 2)
+    sts TIMERS + 5, r16
+"#,
+        lo = period_ticks & 0xFF,
+        hi = period_ticks >> 8,
+    );
+    let builder = RuntimeBuilder::new(0x0001).app_init(init).app_code(
+        r#"
+blink_task:
+    in r16, IO_LED
+    ldi r17, 1
+    eor r16, r17
+    out IO_LED, r16
+blink_done:
+    ret
+"#,
+    );
+    MicaApp {
+        name: "blink",
+        image: builder.build().expect("blink assembles"),
+        probes: vec![ProbeSpec {
+            name: "blink",
+            start: "isr_tick",
+            end: "blink_done",
+        }],
+    }
+}
+
+/// The `sense` comparison app: periodic ADC sample into a running
+/// average (software EWMA, α = 1/4).
+pub fn sense(period_ticks: u16) -> MicaApp {
+    let mut init = sampling_init(period_ticks);
+    // The ADC continuation is the averaging task instead of a send.
+    init = init.replace("send_task", "avg_task");
+    let builder = RuntimeBuilder::new(0x0001).app_init(init).app_code(format!(
+        r#"{SAMPLE_TASK}
+.equ AVG, APP_VARS + 4
+avg_task:
+    lds r16, ADC_VALUE
+    lds r17, AVG
+    ; r19:r18 = 3·avg + x, then >> 2
+    mov r18, r17
+    ldi r19, 0
+    lsl r18
+    rol r19
+    add r18, r17
+    adc r19, r1
+    add r18, r16
+    adc r19, r1
+    lsr r19
+    ror r18
+    lsr r19
+    ror r18
+    sts AVG, r18
+sense_done:
+    ret
+"#
+    ));
+    MicaApp {
+        name: "sense",
+        image: builder.build().expect("sense assembles"),
+        probes: vec![ProbeSpec {
+            name: "sense",
+            start: "isr_tick",
+            end: "sense_done",
+        }],
+    }
+}
+
+/// RAM data address of the software running average in [`sense`].
+pub const SENSE_AVG_ADDR: u16 = ulp_mica::runtime::layout::APP_VARS + 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_net::Frame;
+    use ulp_sim::{Cycles, Engine};
+
+    #[test]
+    fn all_apps_assemble() {
+        for app in [
+            app1(1),
+            app2(1, 50),
+            app3(1, 0),
+            app4(1, 0),
+            blink(1),
+            sense(1),
+        ] {
+            assert!(app.code_size() > 100, "{} too small", app.name);
+            assert!(app.code_size() < 4096, "{} too large", app.name);
+        }
+    }
+
+    #[test]
+    fn app1_sends_frames_and_probe_fires() {
+        let app = app1(1);
+        let (board, probes) = app.board(Box::new(|_| 42));
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(60_000));
+        let mut board = engine.into_machine();
+        assert!(!board.halted());
+        let sent = board.take_sent();
+        assert!(!sent.is_empty());
+        let f = Frame::decode(&sent[0].1).unwrap();
+        assert_eq!(f.payload, vec![42]);
+        let cycles = board.probe(probes["send_path"]).first().unwrap();
+        assert!(
+            (300..4000).contains(&cycles),
+            "send path {cycles}; paper's Mica2 measurement is 1522"
+        );
+    }
+
+    #[test]
+    fn app2_threshold_drops_low_samples() {
+        let app = app2(1, 100);
+        let (board, _) = app.board(Box::new(|_| 42)); // below threshold
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(80_000));
+        let mut board = engine.into_machine();
+        assert!(board.take_sent().is_empty(), "below threshold: no sends");
+        assert!(board.adc_conversions() > 5, "sampling continued");
+    }
+
+    #[test]
+    fn app4_timer_change_probe_is_small() {
+        let app = app4(50, 0);
+        let (mut board, probes) = app.board(Box::new(|_| 0));
+        let cmd = Frame::command(0x22, 0x0009, 0x0001, 1, &[1, 10, 0]).unwrap();
+        board.schedule_rx(Cycles(30_000), cmd.encode());
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(200_000));
+        let board = engine.machine();
+        let tc = board.probe(probes["timer_change"]).first().expect("fired");
+        assert!(
+            (8..=20).contains(&tc),
+            "timer change {tc} cycles; paper's Mica2 measurement is 11"
+        );
+        let irr = board
+            .probe(probes["process_irregular"])
+            .first()
+            .expect("fired");
+        assert!(
+            (100..1000).contains(&irr),
+            "irregular path {irr}; paper's Mica2 measurement is 234"
+        );
+    }
+
+    #[test]
+    fn app3_forwarding_probe() {
+        let app = app3(200, 0);
+        let (mut board, probes) = app.board(Box::new(|_| 0));
+        let fwd = Frame::data(0x22, 0x0009, 0x0000, 3, &[1, 2, 3, 4]).unwrap();
+        board.schedule_rx(Cycles(30_000), fwd.encode());
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(200_000));
+        let mut board = engine.into_machine();
+        let sent = board.take_sent();
+        assert!(sent.iter().any(|(_, b)| *b == fwd.encode()), "forwarded");
+        let cycles = board.probe(probes["process_regular"]).first().unwrap();
+        assert!(
+            (150..1500).contains(&cycles),
+            "regular path {cycles}; paper's Mica2 measurement is 429"
+        );
+    }
+
+    #[test]
+    fn blink_toggles_and_measures() {
+        let app = blink(1);
+        let (board, probes) = app.board(Box::new(|_| 0));
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(40_000));
+        let board = engine.machine();
+        let cycles = board.probe(probes["blink"]).first().unwrap();
+        assert!(
+            (100..1200).contains(&cycles),
+            "blink {cycles}; paper's Mica2 measurement is 523"
+        );
+    }
+
+    #[test]
+    fn sense_converges_and_measures() {
+        let app = sense(1);
+        let (board, probes) = app.board(Box::new(|_| 200));
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(300_000));
+        let board = engine.machine();
+        let avg = board.ram(SENSE_AVG_ADDR);
+        assert!(avg > 150, "EWMA converged towards 200, got {avg}");
+        let cycles = board.probe(probes["sense"]).first().unwrap();
+        assert!(
+            (150..2000).contains(&cycles),
+            "sense {cycles}; paper's Mica2 measurement is 1118"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Shared measurement harness for the table/figure regeneration binaries
+//! and the Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that prints the paper's rows next to our measured values:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Mica2 current draw |
+//! | `table2` | Event-processor instruction set |
+//! | `table3` | SRAM bank power |
+//! | `table4` | Cycle-count comparison (plus code size and max rate) |
+//! | `table5` | Component power estimates |
+//! | `fig3`   | Process-technology study (Equation 1 surface) |
+//! | `fig5`   | Monitoring-application ISR listing |
+//! | `fig6`   | Power vs duty cycle (plus Atmel/MSP430 comparisons) |
+//! | `snap_compare` | blink/sense vs published SNAP numbers |
+//!
+//! The measurement functions live here so integration tests can assert
+//! on the same numbers the binaries print.
+
+pub mod measure;
+pub mod table;
+
+pub use measure::{measure_table4, SystemSide, Table4Row};
+pub use table::TableWriter;

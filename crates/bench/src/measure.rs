@@ -1,0 +1,326 @@
+//! The Table 4 / §6.1.3 measurement procedures, shared by the binaries
+//! and the integration tests.
+//!
+//! Mica2 cycle counts come from PC-watchpoint probes on the board model
+//! (the Atemu methodology); event-driven-system counts come from the
+//! busy-cycle accounting of the system simulator, split between the
+//! event-processor/slave portion and the microcontroller portion for the
+//! irregular-event rows.
+
+use ulp_apps::mica as mapps;
+use ulp_apps::ulp::{self, stages, SamplePeriod};
+use ulp_core::slaves::ConstSensor;
+use ulp_core::{System, SystemConfig};
+use ulp_net::Frame;
+use ulp_sim::{Cycles, Engine};
+
+/// Which platform a measurement ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemSide {
+    /// The Mica2/TinyOS-style baseline.
+    Mica2,
+    /// The paper's event-driven architecture.
+    Ulp,
+}
+
+/// One Table 4 row: the same code segment on both platforms.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Row label.
+    pub name: &'static str,
+    /// Mica2 cycles (measured by probe).
+    pub mica: u64,
+    /// Event-driven system cycles (busy-cycle accounting).
+    pub ulp: u64,
+    /// The paper's reported Mica2 cycles.
+    pub paper_mica: u64,
+    /// The paper's reported cycles for their system.
+    pub paper_ulp: u64,
+}
+
+impl Table4Row {
+    /// Measured speedup (Mica2 / ours).
+    pub fn speedup(&self) -> f64 {
+        self.mica as f64 / self.ulp as f64
+    }
+
+    /// The paper's reported speedup.
+    pub fn paper_speedup(&self) -> f64 {
+        self.paper_mica as f64 / self.paper_ulp as f64
+    }
+}
+
+fn ulp_system(prog: &ulp::UlpProgram) -> System {
+    prog.build_system(SystemConfig::default(), Box::new(ConstSensor(128)))
+}
+
+/// Busy cycles for one send event on the event-driven system.
+fn ulp_send_cycles(prog: &ulp::UlpProgram) -> u64 {
+    let sys = ulp_system(prog);
+    let mut engine = Engine::new(sys);
+    let (_, ok) = engine.run_until(Cycles(120_000), |s| {
+        s.slaves().radio.stats().transmitted >= 1 && s.is_quiescent()
+    });
+    assert!(ok, "send never completed");
+    let sys = engine.machine();
+    assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+    sys.busy_cycles().0
+}
+
+/// Busy cycles to receive-and-forward one message.
+fn ulp_forward_cycles() -> u64 {
+    let prog = stages::app3(SamplePeriod::Cycles(60_000), 0);
+    let sys = ulp_system(&prog);
+    let mut engine = Engine::new(sys);
+    let frame = Frame::data(0x22, 0x0009, 0x0000, 3, &[1]).unwrap();
+    engine
+        .machine_mut()
+        .schedule_rx(Cycles(500), frame.encode());
+    let (_, ok) = engine.run_until(Cycles(50_000), |s| {
+        s.slaves().radio.stats().transmitted >= 1 && s.is_quiescent()
+    });
+    assert!(ok, "forward never completed");
+    let sys = engine.machine();
+    assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+    sys.busy_cycles().0
+}
+
+/// (EP+slave cycles, microcontroller cycles) to handle one irregular
+/// (reconfiguration) message with the given parameter byte.
+fn ulp_irregular_cycles(param: u8) -> (u64, u64) {
+    let prog = stages::app4(SamplePeriod::Cycles(60_000), 0);
+    let sys = ulp_system(&prog);
+    let mut engine = Engine::new(sys);
+    let cmd = Frame::command(0x22, 0x0009, 0x0001, 1, &[param, 0x20, 0x03]).unwrap();
+    engine.machine_mut().schedule_rx(Cycles(500), cmd.encode());
+    let (_, ok) = engine.run_until(Cycles(50_000), |s| {
+        s.mcu().stats().wakeups >= 1 && s.is_quiescent()
+    });
+    assert!(ok, "irregular event never completed");
+    let sys = engine.machine();
+    assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+    let mcu = sys.mcu().stats().active_cycles;
+    let total = sys.busy_cycles().0;
+    (total.saturating_sub(mcu), mcu)
+}
+
+/// Mica2: first probe result for `probe` in `app`, with an optional
+/// injected frame.
+fn mica_probe(app: &mapps::MicaApp, probe: &str, inject: Option<Frame>) -> u64 {
+    let (mut board, probes) = app.board(Box::new(|_| 128));
+    if let Some(f) = &inject {
+        board.schedule_rx(Cycles(40_000), f.encode());
+    }
+    let id = probes[probe];
+    let mut engine = Engine::new(board);
+    engine.run_until_cycle(Cycles(600_000));
+    let board = engine.machine();
+    assert!(!board.halted(), "Mica2 program halted unexpectedly");
+    board
+        .probe(id)
+        .first()
+        .unwrap_or_else(|| panic!("probe `{probe}` never completed"))
+}
+
+/// Measure all six Table 4 rows on both platforms.
+pub fn measure_table4() -> Vec<Table4Row> {
+    let period = SamplePeriod::Cycles(60_000);
+    let send_plain = ulp_send_cycles(&stages::app1(period));
+    let send_filtered = ulp_send_cycles(&stages::app2(period, 0));
+    let forward = ulp_forward_cycles();
+    let (irregular_ep, _) = ulp_irregular_cycles(0);
+    let (_, timer_change) = ulp_irregular_cycles(1);
+    let (_, thresh_change) = ulp_irregular_cycles(2);
+
+    let mica_send = mica_probe(&mapps::app1(1), "send_path", None);
+    let mica_send_f = mica_probe(&mapps::app2(1, 50), "send_path_filtered", None);
+    let fwd_frame = Frame::data(0x22, 0x0009, 0x0000, 3, &[1]).unwrap();
+    let mica_fwd = mica_probe(&mapps::app3(500, 0), "process_regular", Some(fwd_frame));
+    let cmd1 = Frame::command(0x22, 0x0009, 0x0001, 1, &[1, 10, 0]).unwrap();
+    let cmd2 = Frame::command(0x22, 0x0009, 0x0001, 1, &[2, 99, 0]).unwrap();
+    let mica_irr = mica_probe(
+        &mapps::app4(500, 0),
+        "process_irregular",
+        Some(cmd1.clone()),
+    );
+    let mica_tc = mica_probe(&mapps::app4(500, 0), "timer_change", Some(cmd1));
+    let mica_th = mica_probe(&mapps::app4(500, 0), "threshold_change", Some(cmd2));
+
+    vec![
+        Table4Row {
+            name: "Total send path w/out filter",
+            mica: mica_send,
+            ulp: send_plain,
+            paper_mica: 1522,
+            paper_ulp: 102,
+        },
+        Table4Row {
+            name: "Total send path w/ filter",
+            mica: mica_send_f,
+            ulp: send_filtered,
+            paper_mica: 1532,
+            paper_ulp: 127,
+        },
+        Table4Row {
+            name: "Process regular message",
+            mica: mica_fwd,
+            ulp: forward,
+            paper_mica: 429,
+            paper_ulp: 165,
+        },
+        Table4Row {
+            name: "Process irregular message",
+            mica: mica_irr,
+            ulp: irregular_ep,
+            paper_mica: 234,
+            paper_ulp: 136,
+        },
+        Table4Row {
+            name: "Timer change",
+            mica: mica_tc,
+            ulp: timer_change,
+            paper_mica: 11,
+            paper_ulp: 114,
+        },
+        Table4Row {
+            name: "Threshold change",
+            mica: mica_th,
+            ulp: thresh_change,
+            paper_mica: 11, // the paper's row is garbled; ~same as timer
+            paper_ulp: 114,
+        },
+    ]
+}
+
+/// One SNAP-comparison row (§6.1.3).
+#[derive(Debug, Clone)]
+pub struct SnapRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Published SNAP cycles.
+    pub snap: u64,
+    /// Our measured event-driven-system cycles.
+    pub ulp: u64,
+    /// Our measured Mica2 cycles.
+    pub mica: u64,
+    /// The paper's reported cycles for its system.
+    pub paper_ulp: u64,
+    /// The paper's reported Mica2 cycles.
+    pub paper_mica: u64,
+}
+
+/// Cycles per event for a self-contained periodic ULP app.
+fn ulp_per_event(prog: &ulp::UlpProgram, events: u64, horizon: u64) -> u64 {
+    let sys = ulp_system(prog);
+    let mut engine = Engine::new(sys);
+    let (_, ok) = engine.run_until(Cycles(horizon), |s| s.ep().stats().events >= events);
+    assert!(ok, "events never completed");
+    let sys = engine.machine();
+    assert!(sys.fault().is_none());
+    sys.busy_cycles().0 / sys.ep().stats().events
+}
+
+/// Measure the blink/sense comparison against the published SNAP numbers.
+pub fn measure_snap() -> Vec<SnapRow> {
+    let ulp_blink = ulp_per_event(&ulp::blink(500), 5, 5_000);
+    let ulp_sense = ulp_per_event(&ulp::sense(500), 5, 5_000);
+    let mica_blink = mica_probe(&mapps::blink(1), "blink", None);
+    let mica_sense = mica_probe(&mapps::sense(1), "sense", None);
+    vec![
+        SnapRow {
+            name: "blink",
+            snap: 41,
+            ulp: ulp_blink,
+            mica: mica_blink,
+            paper_ulp: 12,
+            paper_mica: 523,
+        },
+        SnapRow {
+            name: "sense",
+            snap: 261,
+            ulp: ulp_sense,
+            mica: mica_sense,
+            paper_ulp: 24,
+            paper_mica: 1118,
+        },
+    ]
+}
+
+/// Code sizes of the complete stage-4 application on both platforms
+/// (the paper: 11558 B on Mica2 vs 180 B on theirs).
+pub fn code_sizes() -> (usize, usize) {
+    let mica = mapps::app4(100, 50).code_size();
+    let ulp = stages::app4(SamplePeriod::Cycles(1000), 50).code_size();
+    (mica, ulp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_holds() {
+        let rows = measure_table4();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.mica > 0 && row.ulp > 0,
+                "{}: empty measurement",
+                row.name
+            );
+        }
+        // Send paths: the event-driven system wins by roughly an order
+        // of magnitude (paper: 14.9× and 12.1×).
+        assert!(
+            rows[0].speedup() > 3.0,
+            "send w/out filter speedup {} too small",
+            rows[0].speedup()
+        );
+        assert!(rows[1].speedup() > 3.0);
+        // Filter adds a modest number of cycles on both platforms.
+        assert!(rows[1].ulp > rows[0].ulp);
+        // Regular messages still favour the event-driven system.
+        assert!(rows[2].speedup() > 1.0, "{}", rows[2].speedup());
+        // The microcontroller-handled change is SLOWER than the Mica2's
+        // in-memory store — the paper's 0.096× row, the honest cost of
+        // waking a cold core.
+        assert!(
+            rows[4].speedup() < 0.5,
+            "timer change must favour Mica2: {}",
+            rows[4].speedup()
+        );
+        assert!(rows[4].mica < 30, "Mica2 timer change is a few stores");
+    }
+
+    #[test]
+    fn snap_rows_order_correctly() {
+        let rows = measure_snap();
+        for r in &rows {
+            // Ordering: ours < SNAP < Mica2 (the paper's claim).
+            assert!(
+                r.ulp < r.snap,
+                "{}: ours {} should beat SNAP {}",
+                r.name,
+                r.ulp,
+                r.snap
+            );
+            assert!(
+                r.snap < r.mica,
+                "{}: SNAP {} should beat Mica2 {}",
+                r.name,
+                r.snap,
+                r.mica
+            );
+        }
+    }
+
+    #[test]
+    fn code_size_gap() {
+        let (mica, ulp) = code_sizes();
+        assert!(
+            ulp * 3 < mica,
+            "event-driven footprint {ulp} B should be far below Mica2 {mica} B"
+        );
+        assert!(ulp < 400, "paper reports 180 B; ours is {ulp} B");
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text table rendering for the regeneration binaries.
+
+/// A fixed-column table writer producing aligned monospace output.
+#[derive(Debug, Clone)]
+pub struct TableWriter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> TableWriter {
+        TableWriter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) -> &mut TableWriter {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of string slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut TableWriter {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for i in 0..cols {
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+                line.push_str(" | ");
+            }
+            line.trim_end().to_string() + "\n"
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableWriter::new(&["name", "value"]);
+        t.row_str(&["short", "1"]);
+        t.row_str(&["a-much-longer-name", "23456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[1].starts_with("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_wrong_arity() {
+        let mut t = TableWriter::new(&["a", "b"]);
+        t.row_str(&["only-one"]);
+    }
+}

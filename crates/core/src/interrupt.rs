@@ -1,0 +1,137 @@
+//! The interrupt bus and its centralized arbiter.
+//!
+//! Slaves compete for the 6-bit interrupt bus; the arbiter picks the
+//! lowest-numbered pending interrupt when the event processor is ready
+//! for one. Each slave line is one-deep: the paper's system supports
+//! "only one outstanding interrupt ... if the system begins to be
+//! overloaded, events will simply be dropped" (§4.2.4). A slave raising
+//! an event while its previous one is still pending loses the new event,
+//! and the drop is counted — overload is observable, not silent.
+
+use crate::map::NUM_IRQS;
+
+/// The interrupt arbiter: one pending flag per interrupt id.
+#[derive(Debug, Clone)]
+pub struct InterruptArbiter {
+    pending: [bool; NUM_IRQS],
+    raised: u64,
+    dropped: u64,
+    taken: u64,
+}
+
+impl Default for InterruptArbiter {
+    fn default() -> Self {
+        InterruptArbiter::new()
+    }
+}
+
+impl InterruptArbiter {
+    /// An arbiter with nothing pending.
+    pub fn new() -> InterruptArbiter {
+        InterruptArbiter {
+            pending: [false; NUM_IRQS],
+            raised: 0,
+            dropped: 0,
+            taken: 0,
+        }
+    }
+
+    /// Raise interrupt `id`. If it is already pending the new event is
+    /// dropped (counted), per §4.2.4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid 6-bit interrupt id.
+    pub fn raise(&mut self, id: u8) {
+        let slot = &mut self.pending[id as usize];
+        if *slot {
+            self.dropped += 1;
+        } else {
+            *slot = true;
+            self.raised += 1;
+        }
+    }
+
+    /// Whether any interrupt is pending.
+    pub fn any_pending(&self) -> bool {
+        self.pending.iter().any(|&p| p)
+    }
+
+    /// Whether a specific interrupt is pending.
+    pub fn is_pending(&self, id: u8) -> bool {
+        self.pending[id as usize]
+    }
+
+    /// Arbitrate: take the lowest-numbered pending interrupt, clearing
+    /// its flag.
+    pub fn take(&mut self) -> Option<u8> {
+        let id = self.pending.iter().position(|&p| p)?;
+        self.pending[id] = false;
+        self.taken += 1;
+        Some(id as u8)
+    }
+
+    /// Events raised successfully.
+    pub fn raised(&self) -> u64 {
+        self.raised
+    }
+
+    /// Events dropped due to overload.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events taken by the event processor.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_and_take() {
+        let mut a = InterruptArbiter::new();
+        assert!(!a.any_pending());
+        assert_eq!(a.take(), None);
+        a.raise(5);
+        assert!(a.any_pending());
+        assert!(a.is_pending(5));
+        assert_eq!(a.take(), Some(5));
+        assert!(!a.any_pending());
+        assert_eq!(a.raised(), 1);
+        assert_eq!(a.taken(), 1);
+    }
+
+    #[test]
+    fn arbitration_is_lowest_id_first() {
+        let mut a = InterruptArbiter::new();
+        a.raise(25);
+        a.raise(0);
+        a.raise(16);
+        assert_eq!(a.take(), Some(0));
+        assert_eq!(a.take(), Some(16));
+        assert_eq!(a.take(), Some(25));
+    }
+
+    #[test]
+    fn overload_drops_and_counts() {
+        let mut a = InterruptArbiter::new();
+        a.raise(3);
+        a.raise(3); // dropped: previous still outstanding
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.take(), Some(3));
+        assert_eq!(a.take(), None, "dropped event is really gone");
+        a.raise(3); // fine again after the take
+        assert_eq!(a.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_id_panics() {
+        let mut a = InterruptArbiter::new();
+        a.raise(64);
+    }
+}

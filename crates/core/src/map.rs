@@ -1,0 +1,273 @@
+//! System address map and component identifiers.
+//!
+//! The data bus has a 16-bit address and an 8-bit datum (§4.3.1), so the
+//! address space is 64 K with all slaves memory-mapped. The 2 KB main
+//! memory sits at the bottom; each slave gets a register window above it.
+//! Power-controlled components carry a 5-bit [`Component`] id used by the
+//! event processor's `SWITCHON`/`SWITCHOFF` instructions.
+
+/// Main memory base (2 KB banked SRAM).
+pub const MEM_BASE: u16 = 0x0000;
+/// Main memory size in bytes.
+pub const MEM_SIZE: u16 = 0x0800;
+
+/// Event-processor ISR lookup table: 64 interrupts × 2-byte ISR address.
+pub const EP_VECTORS: u16 = 0x0000;
+/// Microcontroller vector table: 32 vectors × 2-byte handler address
+/// (byte address of AVR code in main memory).
+pub const MCU_VECTORS: u16 = 0x0080;
+
+/// Timer subsystem register window.
+pub const TIMER_BASE: u16 = 0x1000;
+/// Per-timer register stride within the timer window.
+pub const TIMER_STRIDE: u16 = 8;
+/// Offset: reload value, low byte.
+pub const TIMER_RELOAD_LO: u16 = 0;
+/// Offset: reload value, high byte.
+pub const TIMER_RELOAD_HI: u16 = 1;
+/// Offset: control register (bit 0 enable, bit 1 repeat, bit 2 chain,
+/// bit 3 interrupt enable).
+pub const TIMER_CTRL: u16 = 2;
+/// Offset: live count, low byte (read-only).
+pub const TIMER_COUNT_LO: u16 = 3;
+/// Offset: live count, high byte (read-only).
+pub const TIMER_COUNT_HI: u16 = 4;
+
+/// Threshold filter register window.
+pub const FILTER_BASE: u16 = 0x1100;
+/// Offset: control (write 1 to evaluate).
+pub const FILTER_CTRL: u16 = 0;
+/// Offset: programmable threshold.
+pub const FILTER_THRESHOLD: u16 = 1;
+/// Offset: input value.
+pub const FILTER_INPUT: u16 = 2;
+/// Offset: result (1 = input ≥ threshold in mode 0).
+pub const FILTER_RESULT: u16 = 3;
+/// Offset: mode (0 = pass when ≥ threshold, 1 = pass when < threshold).
+pub const FILTER_MODE: u16 = 4;
+
+/// Message processor register window.
+pub const MSG_BASE: u16 = 0x1200;
+/// Offset: control (write a [`MsgCommand`](crate::slaves::MsgCommand)).
+pub const MSG_CTRL: u16 = 0;
+/// Offset: status (see `MsgStatus` bits in `slaves::msgproc`).
+pub const MSG_STATUS: u16 = 1;
+/// Offset: sample input — each write appends one sample to the payload.
+pub const MSG_SAMPLE_IN: u16 = 2;
+/// Offset: number of samples accumulated (read-only).
+pub const MSG_SAMPLE_COUNT: u16 = 3;
+/// Offset: prepared/forward frame length (read-only).
+pub const MSG_TX_LEN: u16 = 4;
+/// Offset: transmitted-packet counter, low byte (read-only).
+pub const MSG_TX_COUNT_LO: u16 = 5;
+/// Offset: transmitted-packet counter, high byte (read-only).
+pub const MSG_TX_COUNT_HI: u16 = 6;
+/// Offset: received-frame length to process (write before `ProcessRx`).
+pub const MSG_RX_LEN: u16 = 7;
+/// Offset: auto-prepare threshold — when non-zero, accumulating this
+/// many samples triggers `Prepare` in hardware (lets the branch-less
+/// event processor batch N samples per packet, as the volcano deployment
+/// batched 25).
+pub const MSG_AUTO_PREPARE: u16 = 8;
+/// Message processor outgoing (TX) 32-byte buffer.
+pub const MSG_TX_BUF: u16 = 0x1280;
+/// Message processor incoming (RX) 32-byte buffer.
+pub const MSG_RX_BUF: u16 = 0x12C0;
+/// Message buffer size (two 32-byte blocks, §6.2.2).
+pub const MSG_BUF_LEN: u16 = 32;
+
+/// Radio register window.
+pub const RADIO_BASE: u16 = 0x1300;
+/// Offset: control (write a `RadioCommand`).
+pub const RADIO_CTRL: u16 = 0;
+/// Offset: status (bit 0 TX busy, bit 1 RX frame pending, bit 2 listening).
+pub const RADIO_STATUS: u16 = 1;
+/// Offset: TX frame length.
+pub const RADIO_TX_LEN: u16 = 2;
+/// Offset: received frame length (read-only).
+pub const RADIO_RX_LEN: u16 = 3;
+/// Radio TX 32-byte buffer.
+pub const RADIO_TX_BUF: u16 = 0x1340;
+/// Radio RX 32-byte buffer.
+pub const RADIO_RX_BUF: u16 = 0x1380;
+
+/// Sensor/ADC block register window.
+pub const SENSOR_BASE: u16 = 0x1400;
+/// Offset: control (write 1 to start a conversion).
+pub const SENSOR_CTRL: u16 = 0;
+/// Offset: latest converted sample (read-only).
+pub const SENSOR_DATA: u16 = 1;
+/// Offset: channel select.
+pub const SENSOR_CHANNEL: u16 = 2;
+
+/// System/power-control window (microcontroller-accessible mirror of the
+/// event processor's power instructions, §4.2.6).
+pub const SYS_BASE: u16 = 0x1500;
+/// Offset: write 1 → the microcontroller gates itself off (end of
+/// irregular-event handling).
+pub const SYS_MCU_SLEEP: u16 = 0;
+/// Offset: write a component id → switch that component on.
+pub const SYS_POWER_ON: u16 = 1;
+/// Offset: write a component id → switch that component off.
+pub const SYS_POWER_OFF: u16 = 2;
+/// Offset: id of the interrupt that caused the current wakeup (read-only).
+pub const SYS_WAKE_CAUSE: u16 = 3;
+/// Offset: general-purpose output latch (LEDs; the `blink` comparison
+/// app toggles bit 0).
+pub const SYS_GPIO: u16 = 4;
+/// Offset: writing a mask toggles those GPIO bits (hardware toggle, like
+/// the AVR's `PINx` write-to-toggle — it lets the ALU-less event
+/// processor blink an LED in one `WRITEI`).
+pub const SYS_GPIO_TOGGLE: u16 = 5;
+
+/// Power-controllable components, with their 5-bit ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Component {
+    /// The timer subsystem.
+    Timer = 0,
+    /// The threshold filter.
+    Filter = 1,
+    /// The message processor.
+    MsgProc = 2,
+    /// The radio interface.
+    Radio = 3,
+    /// The sensor/ADC block.
+    Sensor = 4,
+    /// The general-purpose microcontroller.
+    Mcu = 5,
+    /// Memory bank 0 (banks are ids 8–15).
+    MemBank0 = 8,
+}
+
+impl Component {
+    /// Component id for memory bank `bank` (0–7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is 8 or more.
+    pub fn mem_bank(bank: usize) -> u8 {
+        assert!(bank < 8, "bank {bank} out of range");
+        Component::MemBank0 as u8 + bank as u8
+    }
+
+    /// Decode a 5-bit id into a component kind; memory banks return the
+    /// bank index in the second slot.
+    pub fn decode(id: u8) -> Option<(Component, Option<usize>)> {
+        Some(match id {
+            0 => (Component::Timer, None),
+            1 => (Component::Filter, None),
+            2 => (Component::MsgProc, None),
+            3 => (Component::Radio, None),
+            4 => (Component::Sensor, None),
+            5 => (Component::Mcu, None),
+            8..=15 => (Component::MemBank0, Some((id - 8) as usize)),
+            _ => return None,
+        })
+    }
+}
+
+/// Interrupt bus ids (6-bit, so up to 64; §4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Irq {
+    /// Timer 0 alarm.
+    Timer0 = 0,
+    /// Timer 1 alarm.
+    Timer1 = 1,
+    /// Timer 2 alarm.
+    Timer2 = 2,
+    /// Timer 3 alarm.
+    Timer3 = 3,
+    /// Sensor conversion complete.
+    SensorDone = 8,
+    /// Threshold filter: input passed the filter.
+    FilterPass = 12,
+    /// Message processor: outgoing frame prepared.
+    MsgReady = 16,
+    /// Message processor: received frame should be forwarded.
+    MsgForward = 17,
+    /// Message processor: irregular message, microcontroller required.
+    MsgIrregular = 18,
+    /// Radio: transmission complete.
+    RadioTxDone = 24,
+    /// Radio: frame received.
+    RadioRxDone = 25,
+}
+
+impl Irq {
+    /// The 6-bit interrupt id.
+    pub fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Timer alarm id for timer `i` (0–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 4 or more.
+    pub fn timer(i: usize) -> u8 {
+        assert!(i < 4, "timer index {i} out of range");
+        i as u8
+    }
+}
+
+/// Number of distinct interrupt ids the bus can carry.
+pub const NUM_IRQS: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn windows_do_not_overlap_memory() {
+        assert!(TIMER_BASE >= MEM_BASE + MEM_SIZE);
+        assert!(FILTER_BASE > TIMER_BASE);
+        assert!(MSG_BASE > FILTER_BASE);
+        assert!(RADIO_BASE > MSG_TX_BUF);
+        assert!(SENSOR_BASE > RADIO_RX_BUF);
+        assert!(SYS_BASE > SENSOR_BASE);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn vector_tables_fit_in_bank0() {
+        assert!(EP_VECTORS + (NUM_IRQS as u16) * 2 <= 0x0080);
+        assert!(MCU_VECTORS + 32 * 2 <= 0x0100);
+    }
+
+    #[test]
+    fn component_ids_roundtrip() {
+        assert_eq!(Component::decode(0), Some((Component::Timer, None)));
+        assert_eq!(Component::decode(5), Some((Component::Mcu, None)));
+        assert_eq!(Component::decode(11), Some((Component::MemBank0, Some(3))));
+        assert_eq!(Component::decode(7), None);
+        assert_eq!(Component::decode(16), None);
+        assert_eq!(Component::mem_bank(7), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bank_panics() {
+        let _ = Component::mem_bank(8);
+    }
+
+    #[test]
+    fn irq_ids_fit_six_bits() {
+        for irq in [
+            Irq::Timer0,
+            Irq::Timer3,
+            Irq::SensorDone,
+            Irq::FilterPass,
+            Irq::MsgReady,
+            Irq::MsgForward,
+            Irq::MsgIrregular,
+            Irq::RadioTxDone,
+            Irq::RadioRxDone,
+        ] {
+            assert!((irq.id() as usize) < NUM_IRQS);
+        }
+        assert_eq!(Irq::timer(2), 2);
+    }
+}

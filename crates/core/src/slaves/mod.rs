@@ -1,0 +1,549 @@
+//! The slave side of the system bus (Figure 1, right of the bus): the
+//! banked main memory, the timer subsystem, the threshold filter, the
+//! message processor, the radio interface, the sensor/ADC block, and the
+//! system/power-control latches. [`Slaves`] owns them all and performs
+//! the memory-mapped address decode of §4.2.5.
+
+mod filter;
+mod msgproc;
+mod radio;
+mod sensor;
+mod timer;
+
+pub use filter::ThresholdFilter;
+pub use msgproc::{MessageProcessor, MsgCommand, MsgEvent, MsgStats, CAM_ENTRIES, MAX_SAMPLES};
+pub use radio::{Radio, RadioCommand, RadioStats};
+pub use sensor::{
+    ConstSensor, RandomWalkSensor, SensorBlock, SensorModel, SineSensor, TraceSensor,
+};
+pub use timer::{ctrl as timer_ctrl, TimerBlock, COUNTING_ACTIVITY};
+
+/// Background power of the timer block with one of its four timers
+/// counting: the 1/32 active fraction plus the idle remainder. Used by
+/// the Figure 6 analytic sweep.
+pub fn timer_counting_background(spec: &ulp_sim::PowerSpec) -> ulp_sim::Power {
+    let frac = COUNTING_ACTIVITY / 4.0;
+    ulp_sim::Power::from_watts(spec.active.watts() * frac + spec.idle.watts() * (1.0 - frac))
+}
+
+use crate::interrupt::InterruptArbiter;
+use crate::map::{self, Irq};
+use std::fmt;
+use ulp_sim::Cycles;
+use ulp_sram::{BankedSram, SramError};
+
+/// A fault raised by a bus transaction. Faults halt the simulation with a
+/// diagnostic: in the modelled hardware these accesses would read garbage
+/// or hang the handshake, and in every case they indicate an ISR
+/// programming bug worth surfacing loudly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// No slave claims this address.
+    Unmapped {
+        /// The unclaimed address.
+        addr: u16,
+    },
+    /// Access to a Vdd-gated slave's registers.
+    Gated {
+        /// Name of the gated slave.
+        slave: &'static str,
+        /// The offending address.
+        addr: u16,
+    },
+    /// Main-memory fault (gated bank or out of range).
+    Sram(SramError),
+    /// `SWITCHON`/`SWITCHOFF` with an unassigned component id, or
+    /// `SWITCHON` of the microcontroller (which must be woken with
+    /// `WAKEUP` so it has a vector).
+    BadPowerTarget {
+        /// The offending 5-bit component id.
+        id: u8,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::Unmapped { addr } => write!(f, "unmapped bus address 0x{addr:04X}"),
+            BusError::Gated { slave, addr } => {
+                write!(f, "access to gated slave `{slave}` at 0x{addr:04X}")
+            }
+            BusError::Sram(e) => write!(f, "memory fault: {e}"),
+            BusError::BadPowerTarget { id } => write!(f, "invalid power-control target {id}"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+impl From<SramError> for BusError {
+    fn from(e: SramError) -> Self {
+        BusError::Sram(e)
+    }
+}
+
+/// Which slaves were touched by bus traffic this cycle (consumed by the
+/// power-accounting pass: a register access makes the block's logic
+/// switch, i.e. draw active power for that cycle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Touched {
+    /// Timer registers accessed.
+    pub timer: bool,
+    /// Filter registers accessed.
+    pub filter: bool,
+    /// Message processor registers/buffers accessed.
+    pub msgproc: bool,
+}
+
+/// System/power-control latches at `SYS_BASE` (the microcontroller's
+/// window onto the power-control bus, §4.2.6).
+#[derive(Debug, Clone, Default)]
+pub struct SysRegs {
+    /// The microcontroller asked to gate itself off.
+    pub mcu_sleep_requested: bool,
+    /// Pending power-control requests (on?, component id).
+    pub power_requests: Vec<(bool, u8)>,
+    /// Interrupt id that caused the current microcontroller wakeup.
+    pub wake_cause: u8,
+    /// General-purpose output latch (LEDs).
+    pub gpio: u8,
+}
+
+/// All bus slaves plus the interrupt arbiter.
+pub struct Slaves {
+    /// 2 KB banked main memory.
+    pub mem: BankedSram,
+    /// Four chainable 16-bit timers.
+    pub timer: TimerBlock,
+    /// The threshold filter.
+    pub filter: ThresholdFilter,
+    /// The message processor.
+    pub msgproc: MessageProcessor,
+    /// The radio interface.
+    pub radio: Radio,
+    /// The sensor/ADC block.
+    pub sensor: SensorBlock,
+    /// System/power latches.
+    pub sys: SysRegs,
+    /// The interrupt arbiter.
+    pub irqs: InterruptArbiter,
+    touched: Touched,
+    now: Cycles,
+}
+
+impl fmt::Debug for Slaves {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slaves")
+            .field("now", &self.now)
+            .field("timer", &self.timer)
+            .field("filter", &self.filter)
+            .field("radio", &self.radio)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Slaves {
+    /// Assemble the slave side for a system clocked at `clock_hz`.
+    pub fn new(mem: BankedSram, sensor: SensorBlock, clock_hz: f64) -> Slaves {
+        Slaves {
+            mem,
+            timer: TimerBlock::new(),
+            filter: ThresholdFilter::new(),
+            msgproc: MessageProcessor::new(),
+            radio: Radio::new(clock_hz),
+            sensor,
+            sys: SysRegs::default(),
+            irqs: InterruptArbiter::new(),
+            touched: Touched::default(),
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Advance all slaves one cycle, raising completion interrupts.
+    pub fn tick(&mut self, now: Cycles) {
+        self.now = now;
+        let irqs = &mut self.irqs;
+        self.timer.tick(|i| irqs.raise(Irq::timer(i)));
+        self.sensor.tick(now, || irqs.raise(Irq::SensorDone.id()));
+        self.msgproc.tick(|ev| {
+            irqs.raise(match ev {
+                MsgEvent::Ready => Irq::MsgReady.id(),
+                MsgEvent::Forward => Irq::MsgForward.id(),
+                MsgEvent::Irregular => Irq::MsgIrregular.id(),
+            })
+        });
+        self.radio.tick(now, || irqs.raise(Irq::RadioTxDone.id()));
+    }
+
+    /// Fast-forward all slaves across an idle span (no event may fall
+    /// inside it; the system's idle test guarantees that).
+    pub fn skip(&mut self, cycles: Cycles) {
+        self.timer.skip(cycles.0);
+        self.radio.skip(cycles.0);
+        self.now += cycles;
+    }
+
+    /// Take and clear this cycle's touched flags.
+    pub fn take_touched(&mut self) -> Touched {
+        std::mem::take(&mut self.touched)
+    }
+
+    /// Bus read with full address decode.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses and gated slaves (see [`BusError`]).
+    pub fn read(&mut self, addr: u16) -> Result<u8, BusError> {
+        match addr {
+            a if a < map::MEM_SIZE => Ok(self.mem.read(a)?),
+            a if in_win(a, map::TIMER_BASE, 32) => {
+                if !self.timer.powered() {
+                    return Err(BusError::Gated {
+                        slave: "timer",
+                        addr,
+                    });
+                }
+                self.touched.timer = true;
+                Ok(self.timer.read(a - map::TIMER_BASE))
+            }
+            a if in_win(a, map::FILTER_BASE, 8) => {
+                if !self.filter.powered() {
+                    return Err(BusError::Gated {
+                        slave: "filter",
+                        addr,
+                    });
+                }
+                self.touched.filter = true;
+                Ok(self.filter.read(a - map::FILTER_BASE))
+            }
+            a if in_win(a, map::MSG_BASE, 16)
+                || in_win(a, map::MSG_TX_BUF, map::MSG_BUF_LEN)
+                || in_win(a, map::MSG_RX_BUF, map::MSG_BUF_LEN) =>
+            {
+                if !self.msgproc.powered() {
+                    return Err(BusError::Gated {
+                        slave: "msgproc",
+                        addr,
+                    });
+                }
+                self.touched.msgproc = true;
+                Ok(self.msgproc.read(a))
+            }
+            a if in_win(a, map::RADIO_BASE, 8)
+                || in_win(a, map::RADIO_TX_BUF, map::MSG_BUF_LEN)
+                || in_win(a, map::RADIO_RX_BUF, map::MSG_BUF_LEN) =>
+            {
+                if !self.radio.powered() {
+                    return Err(BusError::Gated {
+                        slave: "radio",
+                        addr,
+                    });
+                }
+                Ok(self.radio.read(a))
+            }
+            a if in_win(a, map::SENSOR_BASE, 4) => {
+                if !self.sensor.powered() {
+                    return Err(BusError::Gated {
+                        slave: "sensor",
+                        addr,
+                    });
+                }
+                Ok(self.sensor.read(a - map::SENSOR_BASE))
+            }
+            a if in_win(a, map::SYS_BASE, 8) => Ok(match a - map::SYS_BASE {
+                map::SYS_WAKE_CAUSE => self.sys.wake_cause,
+                map::SYS_GPIO => self.sys.gpio,
+                _ => 0,
+            }),
+            _ => Err(BusError::Unmapped { addr }),
+        }
+    }
+
+    /// Bus write with full address decode.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses and gated slaves.
+    pub fn write(&mut self, addr: u16, value: u8) -> Result<(), BusError> {
+        match addr {
+            a if a < map::MEM_SIZE => Ok(self.mem.write(a, value)?),
+            a if in_win(a, map::TIMER_BASE, 32) => {
+                if !self.timer.powered() {
+                    return Err(BusError::Gated {
+                        slave: "timer",
+                        addr,
+                    });
+                }
+                self.touched.timer = true;
+                self.timer.write(a - map::TIMER_BASE, value);
+                Ok(())
+            }
+            a if in_win(a, map::FILTER_BASE, 8) => {
+                if !self.filter.powered() {
+                    return Err(BusError::Gated {
+                        slave: "filter",
+                        addr,
+                    });
+                }
+                self.touched.filter = true;
+                let irqs = &mut self.irqs;
+                self.filter.write(a - map::FILTER_BASE, value, || {
+                    irqs.raise(Irq::FilterPass.id())
+                });
+                Ok(())
+            }
+            a if in_win(a, map::MSG_BASE, 16)
+                || in_win(a, map::MSG_TX_BUF, map::MSG_BUF_LEN)
+                || in_win(a, map::MSG_RX_BUF, map::MSG_BUF_LEN) =>
+            {
+                if !self.msgproc.powered() {
+                    return Err(BusError::Gated {
+                        slave: "msgproc",
+                        addr,
+                    });
+                }
+                self.touched.msgproc = true;
+                self.msgproc.write(a, value);
+                Ok(())
+            }
+            a if in_win(a, map::RADIO_BASE, 8)
+                || in_win(a, map::RADIO_TX_BUF, map::MSG_BUF_LEN)
+                || in_win(a, map::RADIO_RX_BUF, map::MSG_BUF_LEN) =>
+            {
+                if !self.radio.powered() {
+                    return Err(BusError::Gated {
+                        slave: "radio",
+                        addr,
+                    });
+                }
+                self.radio.write(a, value);
+                Ok(())
+            }
+            a if in_win(a, map::SENSOR_BASE, 4) => {
+                if !self.sensor.powered() {
+                    return Err(BusError::Gated {
+                        slave: "sensor",
+                        addr,
+                    });
+                }
+                self.sensor.write(a - map::SENSOR_BASE, value);
+                Ok(())
+            }
+            a if in_win(a, map::SYS_BASE, 8) => {
+                match a - map::SYS_BASE {
+                    map::SYS_MCU_SLEEP
+                        if value == 1 => {
+                            self.sys.mcu_sleep_requested = true;
+                        }
+                    map::SYS_POWER_ON => self.sys.power_requests.push((true, value)),
+                    map::SYS_POWER_OFF => self.sys.power_requests.push((false, value)),
+                    map::SYS_GPIO => self.sys.gpio = value,
+                    map::SYS_GPIO_TOGGLE => self.sys.gpio ^= value,
+                    _ => {}
+                }
+                Ok(())
+            }
+            _ => Err(BusError::Unmapped { addr }),
+        }
+    }
+
+    /// Apply a power-control action (from `SWITCHON`/`SWITCHOFF` or the
+    /// microcontroller's `SYS_POWER_*` latches). Returns the wake
+    /// handshake latency for switch-on.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unassigned component ids and on `SWITCHON` of the
+    /// microcontroller (use `WAKEUP`).
+    pub fn set_power(
+        &mut self,
+        id: u8,
+        on: bool,
+        wake: &crate::power::WakeLatency,
+    ) -> Result<Cycles, BusError> {
+        use crate::map::Component;
+        let (component, bank) = Component::decode(id).ok_or(BusError::BadPowerTarget { id })?;
+        // Switching a component to the state it is already in is a no-op
+        // with no handshake latency (the ready line is already up).
+        let already = match (component, bank) {
+            (Component::Timer, _) => self.timer.powered() == on,
+            (Component::Filter, _) => self.filter.powered() == on,
+            (Component::MsgProc, _) => self.msgproc.powered() == on,
+            (Component::Radio, _) => self.radio.powered() == on,
+            (Component::Sensor, _) => self.sensor.powered() == on,
+            _ => false,
+        };
+        if already {
+            return Ok(Cycles::ZERO);
+        }
+        match (component, bank) {
+            (Component::Timer, _) => self.timer.set_powered(on),
+            (Component::Filter, _) => self.filter.set_powered(on),
+            (Component::MsgProc, _) => self.msgproc.set_powered(on),
+            (Component::Radio, _) => self.radio.set_powered(on),
+            (Component::Sensor, _) => self.sensor.set_powered(on, self.now),
+            (Component::Mcu, _) => return Err(BusError::BadPowerTarget { id }),
+            (Component::MemBank0, Some(b)) => {
+                if on {
+                    return Ok(self.mem.ungate_bank(b));
+                }
+                self.mem.gate_bank(b);
+            }
+            (Component::MemBank0, None) => unreachable!("decode always returns a bank"),
+        }
+        Ok(if on {
+            wake.of(component, bank)
+        } else {
+            Cycles::ZERO
+        })
+    }
+}
+
+fn in_win(addr: u16, base: u16, len: u16) -> bool {
+    (base..base + len).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::WakeLatency;
+    use ulp_sram::SramConfig;
+
+    fn slaves() -> Slaves {
+        Slaves::new(
+            BankedSram::new(SramConfig::paper()),
+            SensorBlock::new(Box::new(ConstSensor(99))),
+            100_000.0,
+        )
+    }
+
+    #[test]
+    fn memory_decode() {
+        let mut s = slaves();
+        s.write(0x0123, 0xAB).unwrap();
+        assert_eq!(s.read(0x0123).unwrap(), 0xAB);
+        assert!(matches!(
+            s.read(0x0900),
+            Err(BusError::Unmapped { addr: 0x0900 })
+        ));
+    }
+
+    #[test]
+    fn timer_decode_and_touch() {
+        let mut s = slaves();
+        s.write(map::TIMER_BASE + map::TIMER_RELOAD_LO, 10).unwrap();
+        assert_eq!(s.read(map::TIMER_BASE + map::TIMER_RELOAD_LO).unwrap(), 10);
+        let t = s.take_touched();
+        assert!(t.timer);
+        assert!(!s.take_touched().timer, "flags clear on take");
+    }
+
+    #[test]
+    fn gated_slave_faults() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        s.set_power(crate::map::Component::Timer as u8, false, &wake)
+            .unwrap();
+        assert!(matches!(
+            s.read(map::TIMER_BASE),
+            Err(BusError::Gated { slave: "timer", .. })
+        ));
+        assert!(matches!(
+            s.write(map::TIMER_BASE, 0),
+            Err(BusError::Gated { .. })
+        ));
+        // Sensor and msgproc start gated.
+        assert!(s.read(map::SENSOR_BASE).is_err());
+        assert!(s.read(map::MSG_BASE).is_err());
+        assert!(s.read(map::RADIO_BASE).is_err());
+    }
+
+    #[test]
+    fn power_control_wake_latencies() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        assert_eq!(s.set_power(4, true, &wake).unwrap(), Cycles(2), "sensor");
+        assert_eq!(s.set_power(3, true, &wake).unwrap(), Cycles(4), "radio");
+        assert_eq!(s.set_power(3, false, &wake).unwrap(), Cycles::ZERO);
+        assert!(matches!(
+            s.set_power(5, true, &wake),
+            Err(BusError::BadPowerTarget { id: 5 })
+        ));
+        assert!(s.set_power(31, true, &wake).is_err());
+    }
+
+    #[test]
+    fn memory_bank_gating_via_power_control() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        s.write(0x0700, 7).unwrap(); // bank 7
+        s.set_power(crate::map::Component::mem_bank(7), false, &wake)
+            .unwrap();
+        assert!(matches!(s.read(0x0700), Err(BusError::Sram(_))));
+        let lat = s
+            .set_power(crate::map::Component::mem_bank(7), true, &wake)
+            .unwrap();
+        assert_eq!(lat, Cycles(1));
+        assert_eq!(s.read(0x0700).unwrap(), 0, "contents lost");
+    }
+
+    #[test]
+    fn sensor_reads_model_after_power_on() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        s.set_power(4, true, &wake).unwrap();
+        assert_eq!(s.read(map::SENSOR_BASE + map::SENSOR_DATA).unwrap(), 99);
+    }
+
+    #[test]
+    fn filter_pass_raises_interrupt() {
+        let mut s = slaves();
+        s.write(map::FILTER_BASE + map::FILTER_INPUT, 200).unwrap();
+        s.write(map::FILTER_BASE + map::FILTER_THRESHOLD, 100)
+            .unwrap();
+        s.write(map::FILTER_BASE + map::FILTER_CTRL, 1).unwrap();
+        assert!(s.irqs.is_pending(Irq::FilterPass.id()));
+    }
+
+    #[test]
+    fn timer_alarm_raises_interrupt() {
+        let mut s = slaves();
+        s.timer.configure_periodic(0, 3);
+        for c in 1..=3u64 {
+            s.tick(Cycles(c));
+        }
+        assert!(s.irqs.is_pending(Irq::Timer0.id()));
+    }
+
+    #[test]
+    fn sys_latches() {
+        let mut s = slaves();
+        s.write(map::SYS_BASE + map::SYS_MCU_SLEEP, 1).unwrap();
+        assert!(s.sys.mcu_sleep_requested);
+        s.write(map::SYS_BASE + map::SYS_POWER_ON, 4).unwrap();
+        s.write(map::SYS_BASE + map::SYS_POWER_OFF, 3).unwrap();
+        assert_eq!(s.sys.power_requests, vec![(true, 4), (false, 3)]);
+        s.sys.wake_cause = 18;
+        assert_eq!(s.read(map::SYS_BASE + map::SYS_WAKE_CAUSE).unwrap(), 18);
+    }
+
+    #[test]
+    fn radio_tx_done_interrupt_via_tick() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        s.set_power(3, true, &wake).unwrap();
+        s.write(map::RADIO_TX_BUF, 0xEE).unwrap();
+        s.write(map::RADIO_BASE + map::RADIO_TX_LEN, 1).unwrap();
+        s.write(map::RADIO_BASE + map::RADIO_CTRL, 1).unwrap();
+        let mut fired = false;
+        for c in 1..=40u64 {
+            s.tick(Cycles(c));
+            if s.irqs.is_pending(Irq::RadioTxDone.id()) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        assert_eq!(s.radio.take_outbox().len(), 1);
+    }
+}

@@ -1,0 +1,425 @@
+//! Timer subsystem: four chainable 16-bit countdown timers (§4.3.4).
+//!
+//! Each timer counts down from its reload value and raises an alarm
+//! interrupt at zero. Timers can be *chained*: a chained timer counts
+//! parent underflows instead of clock cycles, so intervals up to
+//! 2³²⁺ cycles are reachable (the Great Duck Island period of 70 s is
+//! 7 M cycles at 100 kHz — beyond one 16-bit timer).
+
+use crate::map;
+
+/// Switching-activity factor of a merely-counting timer relative to the
+/// block's full active power: a down-counter toggles on average about two
+/// of its sixteen bits per cycle, so a counting timer draws roughly 1/8 of
+/// its worst-case (all sub-structures switching) power. Register accesses
+/// drive the whole block and are charged at full active power.
+pub const COUNTING_ACTIVITY: f64 = 0.125;
+
+/// Control-register bits.
+pub mod ctrl {
+    /// Timer counts while set.
+    pub const ENABLE: u8 = 1 << 0;
+    /// Reload and continue after firing (periodic mode).
+    pub const REPEAT: u8 = 1 << 1;
+    /// Count underflows of the previous timer instead of cycles.
+    pub const CHAIN: u8 = 1 << 2;
+    /// Raise the alarm interrupt on underflow.
+    pub const IRQ_EN: u8 = 1 << 3;
+}
+
+#[derive(Debug, Clone, Default)]
+struct SubTimer {
+    reload: u16,
+    count: u16,
+    ctrl: u8,
+}
+
+impl SubTimer {
+    fn counting(&self) -> bool {
+        self.ctrl & ctrl::ENABLE != 0 && self.reload != 0
+    }
+    fn chained(&self) -> bool {
+        self.ctrl & ctrl::CHAIN != 0
+    }
+}
+
+/// The four-timer subsystem.
+#[derive(Debug, Clone)]
+pub struct TimerBlock {
+    timers: [SubTimer; 4],
+    powered: bool,
+    alarms: u64,
+}
+
+impl Default for TimerBlock {
+    fn default() -> Self {
+        TimerBlock::new()
+    }
+}
+
+impl TimerBlock {
+    /// A powered-on block with all timers disabled.
+    pub fn new() -> TimerBlock {
+        TimerBlock {
+            timers: Default::default(),
+            powered: true,
+            alarms: 0,
+        }
+    }
+
+    /// Whether the block is powered.
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Power the block on or off. Powering off clears all counters.
+    pub fn set_powered(&mut self, on: bool) {
+        if self.powered && !on {
+            self.timers = Default::default();
+        }
+        self.powered = on;
+    }
+
+    /// Number of timers currently counting (for power accounting: a
+    /// counting decrementer switches every cycle).
+    pub fn active_count(&self) -> usize {
+        if !self.powered {
+            return 0;
+        }
+        self.timers.iter().filter(|t| t.counting()).count()
+    }
+
+    /// Fraction of the block's active power drawn by background counting
+    /// (no register traffic): `counting/4 × COUNTING_ACTIVITY`.
+    pub fn counting_fraction(&self) -> f64 {
+        self.active_count() as f64 / 4.0 * COUNTING_ACTIVITY
+    }
+
+    /// Total alarms fired since reset.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Advance one cycle; calls `fire(i)` for each timer whose alarm goes
+    /// off this cycle and has interrupts enabled.
+    pub fn tick(&mut self, mut fire: impl FnMut(usize)) {
+        if !self.powered {
+            return;
+        }
+        let mut parent_underflow = false;
+        for i in 0..4 {
+            let t = &mut self.timers[i];
+            let should_count = if t.chained() { parent_underflow } else { true };
+            parent_underflow = false;
+            if !t.counting() || !should_count {
+                continue;
+            }
+            t.count = t.count.saturating_sub(1);
+            if t.count == 0 {
+                parent_underflow = true;
+                self.alarms += 1;
+                if t.ctrl & ctrl::REPEAT != 0 {
+                    t.count = t.reload;
+                } else {
+                    t.ctrl &= !ctrl::ENABLE;
+                }
+                if t.ctrl & ctrl::IRQ_EN != 0 {
+                    fire(i);
+                }
+            }
+        }
+    }
+
+    /// Advance `cycles` cycles, assuming (and asserting in debug builds)
+    /// that no alarm fires within the span — the idle-skip fast path.
+    pub fn skip(&mut self, cycles: u64) {
+        if !self.powered || cycles == 0 {
+            return;
+        }
+        debug_assert!(
+            self.cycles_to_next_alarm().is_none_or(|c| c > cycles),
+            "skip({cycles}) would cross an alarm"
+        );
+        // Only un-chained timers advance with wall-clock cycles; a chained
+        // timer moves on parent underflow, which would be an alarm.
+        for t in &mut self.timers {
+            if t.counting() && !t.chained() {
+                t.count -= cycles as u16;
+            }
+        }
+    }
+
+    /// Cycles until the next *underflow* of any timer — including silent
+    /// underflows of chain parents and of timers without interrupts
+    /// enabled — or `None` if no timer will ever underflow. Idle-skip
+    /// must not cross silent underflows either, since they drive chained
+    /// counters; the engine simply wakes, ticks once, and skips on.
+    pub fn cycles_to_next_alarm(&self) -> Option<u64> {
+        if !self.powered {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for i in 0..4 {
+            if let Some(c) = self.cycles_to_fire(i) {
+                best = Some(best.map_or(c, |b| b.min(c)));
+            }
+        }
+        best
+    }
+
+    /// Cycles until timer `i` next fires.
+    fn cycles_to_fire(&self, i: usize) -> Option<u64> {
+        let t = &self.timers[i];
+        if !t.counting() {
+            return None;
+        }
+        if !t.chained() || i == 0 {
+            // A chained timer 0 has no parent; treat as unchained.
+            return Some(t.count as u64);
+        }
+        // Chained: needs `count` parent underflows.
+        let first = self.cycles_to_fire(i - 1)?;
+        if t.count <= 1 {
+            return Some(first);
+        }
+        let parent = &self.timers[i - 1];
+        if parent.ctrl & ctrl::REPEAT == 0 {
+            return None; // parent fires once; we need more underflows
+        }
+        Some(first + (t.count as u64 - 1) * parent.reload as u64)
+    }
+
+    /// Register read within the timer window.
+    pub fn read(&self, offset: u16) -> u8 {
+        let (i, reg) = split(offset);
+        let t = &self.timers[i];
+        match reg {
+            map::TIMER_RELOAD_LO => t.reload as u8,
+            map::TIMER_RELOAD_HI => (t.reload >> 8) as u8,
+            map::TIMER_CTRL => t.ctrl,
+            map::TIMER_COUNT_LO => t.count as u8,
+            map::TIMER_COUNT_HI => (t.count >> 8) as u8,
+            _ => 0,
+        }
+    }
+
+    /// Register write within the timer window. Writing the control
+    /// register with `ENABLE` (re)loads the counter.
+    pub fn write(&mut self, offset: u16, value: u8) {
+        let (i, reg) = split(offset);
+        let t = &mut self.timers[i];
+        match reg {
+            map::TIMER_RELOAD_LO => t.reload = (t.reload & 0xFF00) | value as u16,
+            map::TIMER_RELOAD_HI => t.reload = (t.reload & 0x00FF) | ((value as u16) << 8),
+            map::TIMER_CTRL => {
+                let was_enabled = t.ctrl & ctrl::ENABLE != 0;
+                t.ctrl = value;
+                if value & ctrl::ENABLE != 0 && !was_enabled {
+                    t.count = t.reload;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Convenience: configure timer `i` as a periodic alarm every
+    /// `period` cycles with interrupts enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` ≥ 4 or `period` is zero.
+    pub fn configure_periodic(&mut self, i: usize, period: u16) {
+        assert!(period > 0, "period must be positive");
+        let base = i as u16 * map::TIMER_STRIDE;
+        self.write(base + map::TIMER_RELOAD_LO, period as u8);
+        self.write(base + map::TIMER_RELOAD_HI, (period >> 8) as u8);
+        self.write(
+            base + map::TIMER_CTRL,
+            ctrl::ENABLE | ctrl::REPEAT | ctrl::IRQ_EN,
+        );
+    }
+
+    /// Convenience: configure timers `i-1` (base, silent) and `i`
+    /// (chained) so timer `i` fires every `base_period × chain_count`
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or ≥ 4, or either period component is zero.
+    pub fn configure_chained(&mut self, i: usize, base_period: u16, chain_count: u16) {
+        assert!((1..4).contains(&i), "chained timer must be 1..=3");
+        assert!(base_period > 0 && chain_count > 0);
+        let pb = (i - 1) as u16 * map::TIMER_STRIDE;
+        self.write(pb + map::TIMER_RELOAD_LO, base_period as u8);
+        self.write(pb + map::TIMER_RELOAD_HI, (base_period >> 8) as u8);
+        self.write(pb + map::TIMER_CTRL, ctrl::ENABLE | ctrl::REPEAT);
+        let cb = i as u16 * map::TIMER_STRIDE;
+        self.write(cb + map::TIMER_RELOAD_LO, chain_count as u8);
+        self.write(cb + map::TIMER_RELOAD_HI, (chain_count >> 8) as u8);
+        self.write(
+            cb + map::TIMER_CTRL,
+            ctrl::ENABLE | ctrl::REPEAT | ctrl::CHAIN | ctrl::IRQ_EN,
+        );
+    }
+}
+
+fn split(offset: u16) -> (usize, u16) {
+    let i = (offset / map::TIMER_STRIDE) as usize;
+    assert!(i < 4, "timer offset 0x{offset:X} out of range");
+    (i, offset % map::TIMER_STRIDE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fires_in(t: &mut TimerBlock, cycles: u64) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        for c in 1..=cycles {
+            t.tick(|i| out.push((c, i)));
+        }
+        out
+    }
+
+    #[test]
+    fn periodic_alarm_cadence() {
+        let mut t = TimerBlock::new();
+        t.configure_periodic(0, 10);
+        let fires = fires_in(&mut t, 35);
+        assert_eq!(fires, vec![(10, 0), (20, 0), (30, 0)]);
+        assert_eq!(t.alarms(), 3);
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let mut t = TimerBlock::new();
+        t.write(map::TIMER_RELOAD_LO, 5);
+        t.write(map::TIMER_CTRL, ctrl::ENABLE | ctrl::IRQ_EN);
+        let fires = fires_in(&mut t, 50);
+        assert_eq!(fires, vec![(5, 0)]);
+    }
+
+    #[test]
+    fn silent_without_irq_enable() {
+        let mut t = TimerBlock::new();
+        t.write(map::TIMER_RELOAD_LO, 5);
+        t.write(map::TIMER_CTRL, ctrl::ENABLE | ctrl::REPEAT);
+        assert!(fires_in(&mut t, 20).is_empty());
+        assert_eq!(t.alarms(), 4, "alarms still counted internally");
+    }
+
+    #[test]
+    fn chained_timer_multiplies_period() {
+        let mut t = TimerBlock::new();
+        t.configure_chained(1, 100, 7);
+        let fires = fires_in(&mut t, 1500);
+        assert_eq!(fires, vec![(700, 1), (1400, 1)]);
+    }
+
+    #[test]
+    fn next_alarm_prediction_simple() {
+        let mut t = TimerBlock::new();
+        t.configure_periodic(2, 1000);
+        assert_eq!(t.cycles_to_next_alarm(), Some(1000));
+        t.tick(|_| {});
+        assert_eq!(t.cycles_to_next_alarm(), Some(999));
+    }
+
+    #[test]
+    fn next_alarm_prediction_chained() {
+        let mut t = TimerBlock::new();
+        t.configure_chained(1, 100, 7);
+        // The prediction covers *underflows*: the silent base timer
+        // underflows every 100 cycles (driving the chained counter), so
+        // the engine must wake then even though the alarm is at 700.
+        assert_eq!(t.cycles_to_next_alarm(), Some(100));
+        for _ in 0..650 {
+            t.tick(|_| {});
+        }
+        assert_eq!(t.cycles_to_next_alarm(), Some(50));
+        // The chained timer itself is predicted via its parent.
+        let fires = fires_in(&mut t, 100);
+        assert_eq!(fires, vec![(50, 1)], "chained alarm at 700 overall");
+    }
+
+    #[test]
+    fn skip_matches_ticking() {
+        let mut a = TimerBlock::new();
+        a.configure_periodic(0, 5000);
+        let mut b = a.clone();
+        for _ in 0..4321 {
+            a.tick(|_| {});
+        }
+        b.skip(4321);
+        assert_eq!(a.cycles_to_next_alarm(), b.cycles_to_next_alarm());
+        assert_eq!(a.read(map::TIMER_COUNT_LO), b.read(map::TIMER_COUNT_LO));
+    }
+
+    #[test]
+    fn prediction_never_overshoots_an_event() {
+        let mut t = TimerBlock::new();
+        t.configure_chained(1, 30, 4); // silent underflows at 30, 60, ...
+        t.configure_periodic(2, 95);
+        // Earliest underflow is the silent base timer at 30; the first
+        // *interrupt* is timer 2 at 95. Prediction must be the former so
+        // idle-skip cannot jump past the chain-driving underflow.
+        assert_eq!(t.cycles_to_next_alarm(), Some(30));
+        let fires = fires_in(&mut t, 200);
+        assert_eq!(fires[0], (95, 2));
+        assert_eq!(fires[1], (120, 1), "chained timer after 4 underflows");
+    }
+
+    #[test]
+    fn power_off_clears_state() {
+        let mut t = TimerBlock::new();
+        t.configure_periodic(0, 10);
+        assert_eq!(t.active_count(), 1);
+        t.set_powered(false);
+        assert_eq!(t.active_count(), 0);
+        assert_eq!(t.cycles_to_next_alarm(), None);
+        t.set_powered(true);
+        assert_eq!(t.cycles_to_next_alarm(), None, "config lost across gating");
+    }
+
+    #[test]
+    fn pause_and_resume_via_ctrl() {
+        let mut t = TimerBlock::new();
+        t.configure_periodic(0, 10);
+        for _ in 0..4 {
+            t.tick(|_| {});
+        }
+        // Pause: clear ENABLE without touching count.
+        let c = t.read(map::TIMER_CTRL);
+        t.write(map::TIMER_CTRL, c & !ctrl::ENABLE);
+        for _ in 0..100 {
+            t.tick(|_| {});
+        }
+        assert_eq!(t.read(map::TIMER_COUNT_LO), 6, "count frozen while paused");
+        // A paused timer reports no upcoming alarm.
+        assert_eq!(t.cycles_to_next_alarm(), None);
+    }
+
+    #[test]
+    fn count_readback() {
+        let mut t = TimerBlock::new();
+        t.configure_periodic(0, 0x0204);
+        t.tick(|_| {});
+        assert_eq!(t.read(map::TIMER_COUNT_LO), 0x03);
+        assert_eq!(t.read(map::TIMER_COUNT_HI), 0x02);
+        assert_eq!(t.read(map::TIMER_RELOAD_LO), 0x04);
+        assert_eq!(t.read(map::TIMER_RELOAD_HI), 0x02);
+    }
+
+    #[test]
+    fn reconfigure_changes_period() {
+        let mut t = TimerBlock::new();
+        t.configure_periodic(0, 10);
+        let f = fires_in(&mut t, 10);
+        assert_eq!(f.len(), 1);
+        // Reconfigure (the paper's application 4 does this on command).
+        t.write(map::TIMER_CTRL, 0);
+        t.configure_periodic(0, 25);
+        let f = fires_in(&mut t, 50);
+        assert_eq!(f, vec![(25, 0), (50, 0)]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Constant-expression parsing and evaluation.
+//!
+//! Expressions appear in operands and directives: numbers, symbols, the
+//! current location counter `.`, unary `-`/`~`, the usual binary operators
+//! with C-like precedence, parentheses, and the AVR-style `lo8(x)`/`hi8(x)`
+//! byte-extraction functions.
+
+use super::lexer::Tok;
+use std::collections::BTreeMap;
+
+/// A parsed constant expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Literal value.
+    Num(i64),
+    /// Symbol reference, resolved at evaluation time.
+    Sym(String),
+    /// The current location counter (`.`).
+    Here,
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Bitwise complement.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    /// Low byte of the operand (`lo8(x)`).
+    Lo8(Box<Expr>),
+    /// High byte of the operand (`hi8(x)`).
+    Hi8(Box<Expr>),
+}
+
+/// Context available while encoding: the symbol table and the current
+/// location counter.
+#[derive(Debug, Clone)]
+pub struct EncodeCtx<'a> {
+    /// Resolved symbols (labels and `.equ` definitions).
+    pub symbols: &'a BTreeMap<String, i64>,
+    /// Address of the instruction being encoded.
+    pub pc: i64,
+}
+
+impl EncodeCtx<'_> {
+    /// Parse and evaluate a full token slice as one expression.
+    pub fn eval(&self, toks: &[Tok]) -> Result<i64, String> {
+        let expr = Expr::parse_all(toks)?;
+        expr.eval(self)
+    }
+}
+
+impl Expr {
+    /// Parse a complete token slice; it is an error if tokens remain.
+    pub fn parse_all(toks: &[Tok]) -> Result<Expr, String> {
+        let mut pos = 0;
+        let e = Self::parse_bp(toks, &mut pos, 0)?;
+        if pos != toks.len() {
+            return Err(format!("trailing tokens in expression: {:?}", &toks[pos..]));
+        }
+        Ok(e)
+    }
+
+    /// Parse a prefix of the token slice, advancing `pos`.
+    pub fn parse_prefix(toks: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+        Self::parse_bp(toks, pos, 0)
+    }
+
+    fn parse_bp(toks: &[Tok], pos: &mut usize, min_bp: u8) -> Result<Expr, String> {
+        let mut lhs = Self::parse_atom(toks, pos)?;
+        loop {
+            let op = match toks.get(*pos) {
+                Some(Tok::Punct(p)) if binding_power(p).is_some() => *p,
+                _ => break,
+            };
+            let (l_bp, r_bp) = binding_power(op).unwrap();
+            if l_bp < min_bp {
+                break;
+            }
+            *pos += 1;
+            let rhs = Self::parse_bp(toks, pos, r_bp)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_atom(toks: &[Tok], pos: &mut usize) -> Result<Expr, String> {
+        match toks.get(*pos) {
+            Some(Tok::Num(n)) => {
+                *pos += 1;
+                Ok(Expr::Num(*n))
+            }
+            Some(Tok::Ident(name)) => {
+                *pos += 1;
+                // Function-style byte extraction: lo8(expr), hi8(expr).
+                if matches!(toks.get(*pos), Some(t) if t.is_punct("(")) {
+                    let func = name.to_ascii_lowercase();
+                    if func == "lo8" || func == "hi8" {
+                        *pos += 1;
+                        let inner = Self::parse_bp(toks, pos, 0)?;
+                        if !matches!(toks.get(*pos), Some(t) if t.is_punct(")")) {
+                            return Err(format!("missing ')' after {func}("));
+                        }
+                        *pos += 1;
+                        return Ok(if func == "lo8" {
+                            Expr::Lo8(Box::new(inner))
+                        } else {
+                            Expr::Hi8(Box::new(inner))
+                        });
+                    }
+                }
+                Ok(Expr::Sym(name.clone()))
+            }
+            Some(Tok::Punct(".")) => {
+                *pos += 1;
+                Ok(Expr::Here)
+            }
+            Some(Tok::Punct("-")) => {
+                *pos += 1;
+                Ok(Expr::Neg(Box::new(Self::parse_atom(toks, pos)?)))
+            }
+            Some(Tok::Punct("~")) => {
+                *pos += 1;
+                Ok(Expr::Not(Box::new(Self::parse_atom(toks, pos)?)))
+            }
+            Some(Tok::Punct("(")) => {
+                *pos += 1;
+                let e = Self::parse_bp(toks, pos, 0)?;
+                if !matches!(toks.get(*pos), Some(t) if t.is_punct(")")) {
+                    return Err("missing ')'".into());
+                }
+                *pos += 1;
+                Ok(e)
+            }
+            other => Err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    /// Evaluate under `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undefined symbols and division by zero.
+    pub fn eval(&self, ctx: &EncodeCtx<'_>) -> Result<i64, String> {
+        Ok(match self {
+            Expr::Num(n) => *n,
+            Expr::Here => ctx.pc,
+            Expr::Sym(name) => *ctx
+                .symbols
+                .get(name)
+                .ok_or_else(|| format!("undefined symbol `{name}`"))?,
+            Expr::Neg(e) => e.eval(ctx)?.wrapping_neg(),
+            Expr::Not(e) => !e.eval(ctx)?,
+            Expr::Lo8(e) => e.eval(ctx)? & 0xFF,
+            Expr::Hi8(e) => (e.eval(ctx)? >> 8) & 0xFF,
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(ctx)?;
+                let b = b.eval(ctx)?;
+                match *op {
+                    "+" => a.wrapping_add(b),
+                    "-" => a.wrapping_sub(b),
+                    "*" => a.wrapping_mul(b),
+                    "/" => {
+                        if b == 0 {
+                            return Err("division by zero".into());
+                        }
+                        a / b
+                    }
+                    "%" => {
+                        if b == 0 {
+                            return Err("modulo by zero".into());
+                        }
+                        a % b
+                    }
+                    "&" => a & b,
+                    "|" => a | b,
+                    "^" => a ^ b,
+                    "<<" => a.wrapping_shl(b as u32),
+                    ">>" => a.wrapping_shr(b as u32),
+                    other => return Err(format!("unknown operator {other}")),
+                }
+            }
+        })
+    }
+}
+
+fn binding_power(op: &str) -> Option<(u8, u8)> {
+    // C-like precedence, left-associative throughout.
+    Some(match op {
+        "|" => (1, 2),
+        "^" => (3, 4),
+        "&" => (5, 6),
+        "<<" | ">>" => (7, 8),
+        "+" | "-" => (9, 10),
+        "*" | "/" | "%" => (11, 12),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::lexer::lex_line;
+
+    fn eval(src: &str) -> i64 {
+        let toks = lex_line(src).unwrap();
+        let symbols = BTreeMap::from([("base".to_string(), 0x1000_i64), ("n".to_string(), 3)]);
+        let ctx = EncodeCtx {
+            symbols: &symbols,
+            pc: 0x200,
+        };
+        ctx.eval(&toks).unwrap()
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval("2 + 3 * 4"), 14);
+        assert_eq!(eval("(2 + 3) * 4"), 20);
+        assert_eq!(eval("1 << 4 | 1"), 17);
+        assert_eq!(eval("7 & 3 ^ 1"), 2);
+        assert_eq!(eval("10 - 3 - 2"), 5); // left associative
+        assert_eq!(eval("16 / 4 / 2"), 2);
+        assert_eq!(eval("7 % 4"), 3);
+    }
+
+    #[test]
+    fn unary_and_symbols() {
+        assert_eq!(eval("-5 + 10"), 5);
+        assert_eq!(eval("~0 & 0xFF"), 0xFF);
+        assert_eq!(eval("base + n * 2"), 0x1006);
+        assert_eq!(eval(". + 2"), 0x202);
+    }
+
+    #[test]
+    fn byte_extraction() {
+        assert_eq!(eval("lo8(0x1234)"), 0x34);
+        assert_eq!(eval("hi8(0x1234)"), 0x12);
+        assert_eq!(eval("hi8(base + 0xFF)"), 0x10);
+    }
+
+    #[test]
+    fn errors() {
+        let toks = lex_line("missing_sym + 1").unwrap();
+        let symbols = BTreeMap::new();
+        let ctx = EncodeCtx {
+            symbols: &symbols,
+            pc: 0,
+        };
+        assert!(ctx.eval(&toks).unwrap_err().contains("undefined symbol"));
+
+        let toks = lex_line("1 / 0").unwrap();
+        assert!(ctx.eval(&toks).unwrap_err().contains("division by zero"));
+
+        let toks = lex_line("1 +").unwrap();
+        assert!(ctx.eval(&toks).is_err());
+
+        let toks = lex_line("(1 + 2").unwrap();
+        assert!(ctx.eval(&toks).is_err());
+
+        let toks = lex_line("1 2").unwrap();
+        assert!(ctx.eval(&toks).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn parse_prefix_stops_at_comma() {
+        let toks = lex_line("1 + 2, 3").unwrap();
+        let mut pos = 0;
+        let e = Expr::parse_prefix(&toks, &mut pos).unwrap();
+        let symbols = BTreeMap::new();
+        let ctx = EncodeCtx {
+            symbols: &symbols,
+            pc: 0,
+        };
+        assert_eq!(e.eval(&ctx).unwrap(), 3);
+        assert!(toks[pos].is_punct(","));
+    }
+}

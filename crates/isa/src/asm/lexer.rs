@@ -1,0 +1,304 @@
+//! Line lexer for assembly source.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or mnemonic (`isr_timer`, `switchon`, `r16`, `X`).
+    Ident(String),
+    /// Integer literal (decimal, `0x`, `0b`, `0o`, or `'c'` character).
+    Num(i64),
+    /// String literal (for `.db "..."`).
+    Str(String),
+    /// Punctuation / operator: one of
+    /// `( ) , : = + - * / % & | ^ ~ . << >> <- ->`.
+    Punct(&'static str),
+}
+
+impl Tok {
+    /// The identifier text if this is an [`Tok::Ident`].
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+}
+
+/// Lex one source line into tokens. Comments start with `;` or `//` and run
+/// to end of line. Returns an error message on malformed input.
+pub fn lex_line(line: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' => break,
+            '/' if bytes.get(i + 1) == Some(&b'/') => break,
+            '(' => {
+                toks.push(Tok::Punct("("));
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::Punct(")"));
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Punct(","));
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Punct(":"));
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Punct("="));
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Punct("+"));
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Punct("-"));
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Punct("*"));
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Punct("/"));
+                i += 1;
+            }
+            '%' => {
+                toks.push(Tok::Punct("%"));
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Punct("&"));
+                i += 1;
+            }
+            '|' => {
+                toks.push(Tok::Punct("|"));
+                i += 1;
+            }
+            '^' => {
+                toks.push(Tok::Punct("^"));
+                i += 1;
+            }
+            '~' => {
+                toks.push(Tok::Punct("~"));
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Punct("."));
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'<') => {
+                toks.push(Tok::Punct("<<"));
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'>') => {
+                toks.push(Tok::Punct(">>"));
+                i += 2;
+            }
+            '\'' => {
+                // Character literal: 'c' or escaped '\n', '\t', '\\', '\''.
+                let (value, consumed) = lex_char(&line[i..])?;
+                toks.push(Tok::Num(value));
+                i += consumed;
+            }
+            '"' => {
+                let (s, consumed) = lex_string(&line[i..])?;
+                toks.push(Tok::Str(s));
+                i += consumed;
+            }
+            '0'..='9' => {
+                let (value, consumed) = lex_number(&line[i..])?;
+                toks.push(Tok::Num(value));
+                i += consumed;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(line[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_char(s: &str) -> Result<(i64, usize), String> {
+    let chars: Vec<char> = s.chars().collect();
+    // chars[0] == '\''
+    match chars.get(1) {
+        Some('\\') => {
+            let esc = chars.get(2).ok_or("unterminated character literal")?;
+            let value = match esc {
+                'n' => b'\n',
+                't' => b'\t',
+                'r' => b'\r',
+                '0' => 0,
+                '\\' => b'\\',
+                '\'' => b'\'',
+                other => return Err(format!("unknown escape {other:?}")),
+            };
+            if chars.get(3) != Some(&'\'') {
+                return Err("unterminated character literal".into());
+            }
+            Ok((value as i64, 4))
+        }
+        Some(&c) if c != '\'' => {
+            if chars.get(2) != Some(&'\'') {
+                return Err("unterminated character literal".into());
+            }
+            if !c.is_ascii() {
+                return Err(format!("non-ASCII character literal {c:?}"));
+            }
+            Ok((c as i64, 3))
+        }
+        _ => Err("empty character literal".into()),
+    }
+}
+
+fn lex_string(s: &str) -> Result<(String, usize), String> {
+    let mut out = String::new();
+    let mut it = s.char_indices().skip(1); // skip opening quote
+    while let Some((idx, c)) = it.next() {
+        match c {
+            '"' => return Ok((out, idx + 1)),
+            '\\' => match it.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '0')) => out.push('\0'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '"')) => out.push('"'),
+                other => return Err(format!("unknown string escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string literal".into())
+}
+
+fn lex_number(s: &str) -> Result<(i64, usize), String> {
+    let bytes = s.as_bytes();
+    let (radix, start) = if s.len() >= 2 && bytes[0] == b'0' {
+        match bytes[1] {
+            b'x' | b'X' => (16, 2),
+            b'b' | b'B' => (2, 2),
+            b'o' | b'O' => (8, 2),
+            _ => (10, 0),
+        }
+    } else {
+        (10, 0)
+    };
+    let mut end = start;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_digit(radix) || c == '_' {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    if end == start {
+        return Err("malformed number literal".into());
+    }
+    let digits: String = s[start..end].chars().filter(|&c| c != '_').collect();
+    let value =
+        i64::from_str_radix(&digits, radix).map_err(|e| format!("bad number literal: {e}"))?;
+    Ok((value, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_instruction_line() {
+        let t = lex_line("  transfer 0x1280, 0x1340, 32 ; move packet").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("transfer".into()),
+                Tok::Num(0x1280),
+                Tok::Punct(","),
+                Tok::Num(0x1340),
+                Tok::Punct(","),
+                Tok::Num(32),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_label_and_directive() {
+        let t = lex_line("loop: .db 1, 0b1010, 0o17, 'A', \"hi\\n\"").unwrap();
+        assert_eq!(t[0], Tok::Ident("loop".into()));
+        assert_eq!(t[1], Tok::Punct(":"));
+        assert_eq!(t[2], Tok::Punct("."));
+        assert_eq!(t[3], Tok::Ident("db".into()));
+        assert_eq!(t[4], Tok::Num(1));
+        assert_eq!(t[6], Tok::Num(0b1010));
+        assert_eq!(t[8], Tok::Num(0o17));
+        assert_eq!(t[10], Tok::Num(65));
+        assert_eq!(t[12], Tok::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert!(lex_line("; whole line").unwrap().is_empty());
+        assert!(lex_line("// c++ style").unwrap().is_empty());
+        assert_eq!(lex_line("nop // tail").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn operators_lex() {
+        let t = lex_line("1 << 4 | 2 >> 1 & ~3 ^ 5 % 2").unwrap();
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["<<", "|", ">>", "&", "~", "^", "%"]);
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let t = lex_line("0x12_34 1_000").unwrap();
+        assert_eq!(t, vec![Tok::Num(0x1234), Tok::Num(1000)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex_line("mov r0, @r1").is_err());
+        assert!(lex_line("'").is_err());
+        assert!(lex_line("\"unterminated").is_err());
+        assert!(lex_line("0x").is_err());
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(Tok::Ident("x".into()).as_ident(), Some("x"));
+        assert_eq!(Tok::Num(1).as_ident(), None);
+        assert!(Tok::Punct(",").is_punct(","));
+        assert!(!Tok::Punct(",").is_punct(":"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Generic two-pass assembler.
+//!
+//! The assembler is ISA-agnostic: it handles lexing, labels, directives
+//! (`.org`, `.equ`, `.db`, `.dw`, `.space`, `.align`), expressions, and the
+//! two-pass layout, while an [`Isa`] implementation supplies per-mnemonic
+//! sizing and encoding. The event-processor ISA ([`crate::ep::EpIsa`]) and
+//! the AVR subset in `ulp-mcu8` both plug in here.
+
+mod assembler;
+mod expr;
+mod lexer;
+
+pub use assembler::{Assembler, Image, Isa, Segment};
+pub use expr::{EncodeCtx, Expr};
+pub use lexer::{lex_line, Tok};
+
+use std::fmt;
+
+/// An assembly error, tagged with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, msg: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.msg)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Instruction sets and assembler infrastructure for the ulp-node workspace.
+//!
+//! Two instruction sets are assembled in this workspace: the event
+//! processor's eight-instruction ISA (Table 2 of the paper) defined in
+//! [`ep`], and the AVR-subset ISA of the microcontroller cores defined in
+//! `ulp-mcu8`. Both share the generic two-pass assembler in [`asm`]
+//! (lexer, expression evaluator, labels, directives) via the [`asm::Isa`]
+//! trait.
+//!
+//! # Example: assemble an event-processor ISR
+//!
+//! ```
+//! use ulp_isa::asm::Assembler;
+//! use ulp_isa::ep::EpIsa;
+//!
+//! let src = r#"
+//!     .equ MSGPROC_CTRL, 0x1200
+//!     .org 0x0200
+//! isr_timer:
+//!     switchon 4          ; power the sensor block
+//!     read 0x1401         ; latch the ADC sample into the EP register
+//!     switchoff 4
+//!     writei MSGPROC_CTRL, 1
+//!     terminate
+//! "#;
+//! let image = Assembler::new(EpIsa).assemble(src)?;
+//! assert_eq!(image.symbol("isr_timer"), Some(0x0200));
+//! assert!(!image.segments().is_empty());
+//! # Ok::<(), ulp_isa::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod ep;

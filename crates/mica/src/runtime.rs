@@ -1,0 +1,848 @@
+//! A miniature TinyOS-style runtime in AVR assembly.
+//!
+//! TinyOS structures a sensor-node application as event handlers (interrupt
+//! context) that *post* tasks into a FIFO run-to-completion queue drained
+//! by a scheduler that sleeps when empty. This module generates exactly
+//! that structure for the Mica2 board model:
+//!
+//! * a FIFO **task queue** (16 entries) with an atomic `post_task`;
+//! * a **scheduler** loop with sleep-on-empty;
+//! * **software timer virtualisation**: the hardware tick interrupt walks
+//!   an array of soft-timer slots, decrementing and posting expiry tasks —
+//!   the per-tick cost TinyOS pays for having only a couple of hardware
+//!   timers (and the overhead the paper's hardware timer subsystem
+//!   eliminates, §4.2.2);
+//! * an **active-message layer** that builds the same 802.15.4 wire
+//!   format as the message processor (so cross-platform tests decode both
+//!   with `ulp_net::Frame`), with a software CRC in the "radio stack"
+//!   portion that the paper's measurements exclude;
+//! * a **receive dispatcher** with duplicate suppression in software (the
+//!   linear table search the message processor's CAM replaces).
+//!
+//! Applications plug in as assembly fragments via [`RuntimeBuilder`];
+//! well-known labels (`isr_tick`, `am_handoff`, ...) serve as probe
+//! anchors for Table 4 measurements.
+
+use crate::io;
+use ulp_isa::asm::{AsmError, Image};
+use ulp_mcu8::assemble;
+
+/// RAM layout (data addresses) used by the runtime.
+pub mod layout {
+    /// Task queue: 16 × 2-byte function word-addresses.
+    pub const TASKQ: u16 = 0x0100;
+    /// Queue head index.
+    pub const Q_HEAD: u16 = 0x0120;
+    /// Queue tail index.
+    pub const Q_TAIL: u16 = 0x0121;
+    /// 16-bit tick counter.
+    pub const TICK: u16 = 0x0122;
+    /// Soft-timer slots: 8 × 6 bytes (count, reload, task — all 16-bit).
+    pub const TIMERS: u16 = 0x0130;
+    /// Bytes per soft-timer slot.
+    pub const TIMER_SLOT: u16 = 6;
+    /// Latest ADC sample.
+    pub const ADC_VALUE: u16 = 0x0170;
+    /// AM sequence number.
+    pub const SEQ: u16 = 0x0172;
+    /// Staged outgoing MAC length (header + payload + FCS).
+    pub const TX_LEN: u16 = 0x0173;
+    /// Application variable area (sample period, threshold, ...).
+    pub const APP_VARS: u16 = 0x0180;
+    /// Duplicate-suppression table: 8 × 3 bytes (src lo, src hi, seq).
+    pub const SEEN: u16 = 0x0280;
+    /// Next eviction slot in the seen table.
+    pub const SEEN_IDX: u16 = 0x0298;
+    /// Payload staging area for `am_send`.
+    pub const SCRATCH: u16 = 0x02C0;
+    /// Top of stack.
+    pub const STACK_TOP: u16 = 0x10FF;
+    /// Number of soft-timer slots the tick walks.
+    pub const NUM_TIMERS: usize = 8;
+    /// Seen-table entries.
+    pub const SEEN_ENTRIES: usize = 8;
+}
+
+/// Builds a complete AVR program: runtime plus application fragments.
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    local_addr: u16,
+    pan: u16,
+    dest: u16,
+    tick_compare: u8,
+    app_init: String,
+    app_code: String,
+    handles_rx: bool,
+}
+
+impl RuntimeBuilder {
+    /// A runtime for a node with the given short address.
+    pub fn new(local_addr: u16) -> RuntimeBuilder {
+        RuntimeBuilder {
+            local_addr,
+            pan: 0x0022,
+            dest: 0x0000,
+            tick_compare: 229, // 32 × 230 = 7360 cycles ≈ 1 ms at 7.37 MHz
+            app_init: String::new(),
+            app_code: String::new(),
+            handles_rx: false,
+        }
+    }
+
+    /// Set PAN id and default destination.
+    pub fn addressing(mut self, pan: u16, dest: u16) -> RuntimeBuilder {
+        self.pan = pan;
+        self.dest = dest;
+        self
+    }
+
+    /// Set the hardware tick compare value (tick period =
+    /// `32 × (compare + 1)` CPU cycles).
+    pub fn tick_compare(mut self, compare: u8) -> RuntimeBuilder {
+        self.tick_compare = compare;
+        self
+    }
+
+    /// Assembly run once at boot, after runtime initialisation and
+    /// before interrupts are enabled. Use it to configure soft timers
+    /// and application variables.
+    pub fn app_init(mut self, asm: impl Into<String>) -> RuntimeBuilder {
+        self.app_init = asm.into();
+        self
+    }
+
+    /// Application tasks and handlers (appended after the runtime).
+    pub fn app_code(mut self, asm: impl Into<String>) -> RuntimeBuilder {
+        self.app_code = asm.into();
+        self
+    }
+
+    /// Enable the receive path. The application code must then define
+    /// `app_rx_irregular` (command frames and data addressed to this
+    /// node). Forwardable data frames are handled by the built-in
+    /// `lib_forward` with software duplicate suppression.
+    pub fn handles_rx(mut self, yes: bool) -> RuntimeBuilder {
+        self.handles_rx = yes;
+        self
+    }
+
+    /// Generate the complete assembly source.
+    pub fn source(&self) -> String {
+        let mut src = String::new();
+        // ---- constants ---------------------------------------------------
+        src.push_str(&format!(
+            r#"
+; ============================================================
+; Miniature TinyOS-style runtime (generated by RuntimeBuilder)
+; ============================================================
+.equ IO_LED, {led}
+.equ IO_TIMER_CTRL, {tctrl}
+.equ IO_TIMER_COMPARE, {tcmp}
+.equ IO_ADC_CTRL, {adcc}
+.equ IO_ADC_DATA, {adcd}
+.equ IO_RADIO_SEND, {rsend}
+.equ IO_RADIO_RXLEN, {rrxlen}
+.equ IO_POWER_CTRL, {pwr}
+.equ TXBUF, {txbuf}
+.equ RXBUF, {rxbuf}
+.equ TASKQ, {taskq}
+.equ Q_HEAD, {qhead}
+.equ Q_TAIL, {qtail}
+.equ TICK_LO, {tick}
+.equ TICK_HI, {tick} + 1
+.equ TIMERS, {timers}
+.equ ADC_VALUE, {adcval}
+.equ SEQ, {seq}
+.equ TX_LEN, {txlen}
+.equ APP_VARS, {appvars}
+.equ SEEN, {seen}
+.equ SEEN_IDX, {seenidx}
+.equ SCRATCH, {scratch}
+.equ LOCAL_ADDR, {local}
+.equ PAN_ID, {pan}
+.equ DEST_ADDR, {dest}
+.equ NUM_TIMERS, {ntimers}
+.equ TICK_COMPARE, {tickcmp}
+"#,
+            led = io::LED,
+            tctrl = io::TIMER_CTRL,
+            tcmp = io::TIMER_COMPARE,
+            adcc = io::ADC_CTRL,
+            adcd = io::ADC_DATA,
+            rsend = io::RADIO_SEND,
+            rrxlen = io::RADIO_RXLEN,
+            pwr = io::POWER_CTRL,
+            txbuf = io::TXBUF,
+            rxbuf = io::RXBUF,
+            taskq = layout::TASKQ,
+            qhead = layout::Q_HEAD,
+            qtail = layout::Q_TAIL,
+            tick = layout::TICK,
+            timers = layout::TIMERS,
+            adcval = layout::ADC_VALUE,
+            seq = layout::SEQ,
+            txlen = layout::TX_LEN,
+            appvars = layout::APP_VARS,
+            seen = layout::SEEN,
+            seenidx = layout::SEEN_IDX,
+            scratch = layout::SCRATCH,
+            local = self.local_addr,
+            pan = self.pan,
+            dest = self.dest,
+            ntimers = layout::NUM_TIMERS,
+            tickcmp = self.tick_compare,
+        ));
+
+        // ---- vector table -------------------------------------------------
+        src.push_str(
+            r#"
+.org 0
+    jmp boot            ; vector 0: reset
+    jmp isr_tick        ; vector 1: hardware tick
+    jmp isr_adc         ; vector 2: ADC complete
+    jmp isr_rx          ; vector 3: packet received
+    jmp isr_senddone    ; vector 4: transmission complete
+"#,
+        );
+
+        // ---- boot ----------------------------------------------------------
+        src.push_str(
+            r#"
+boot:
+    ldi r16, 0xFF       ; SP = 0x10FF
+    out 0x3D, r16
+    ldi r16, 0x10
+    out 0x3E, r16
+    clr r1              ; the conventional zero register
+    ; Zero runtime RAM (0x0100..0x0300).
+    ldi r26, 0x00
+    ldi r27, 0x01
+    ldi r17, 2          ; two 256-byte pages
+boot_clr_page:
+    ldi r16, 0
+boot_clr:
+    st X+, r1
+    dec r16
+    brne boot_clr
+    dec r17
+    brne boot_clr_page
+    ; Hardware tick: compare + enable + interrupt.
+    ldi r16, TICK_COMPARE
+    out IO_TIMER_COMPARE, r16
+    ldi r16, 3
+    out IO_TIMER_CTRL, r16
+    ; Sleep in power-save, TinyOS HPLPowerManagement style.
+    ldi r16, 1
+    out IO_POWER_CTRL, r16
+app_init:
+"#,
+        );
+        src.push_str(&self.app_init);
+        src.push_str(
+            r#"
+    sei
+
+; ---- scheduler: run-to-completion tasks, sleep on empty ----
+scheduler:
+    lds r16, Q_HEAD
+    lds r17, Q_TAIL
+    cp r16, r17
+    breq sched_sleep
+    ; Z = TASKQ + head*2
+    mov r30, r16
+    ldi r31, 0
+    lsl r30
+    subi r30, lo8(-(TASKQ))
+    sbci r31, hi8(-(TASKQ))
+    ld r18, Z+
+    ld r19, Z
+    inc r16
+    andi r16, 0x0F
+    sts Q_HEAD, r16
+    movw r30, r18
+    icall
+    rjmp scheduler
+sched_sleep:
+    sleep
+    rjmp scheduler
+
+; ---- post_task: enqueue Z (function word-address), atomic ----
+post_task:
+    push r16
+    push r17
+    push r26
+    push r27
+    in r16, 0x3F
+    cli
+    lds r17, Q_TAIL
+    mov r26, r17
+    ldi r27, 0
+    lsl r26
+    subi r26, lo8(-(TASKQ))
+    sbci r27, hi8(-(TASKQ))
+    st X+, r30
+    st X, r31
+    inc r17
+    andi r17, 0x0F
+    sts Q_TAIL, r17
+    out 0x3F, r16
+    pop r27
+    pop r26
+    pop r17
+    pop r16
+    ret
+
+; ---- hardware tick: walk the soft-timer slots ----
+isr_tick:
+    push r16
+    in r16, 0x3F
+    push r16
+    push r17
+    push r18
+    push r19
+    push r26
+    push r27
+    push r28
+    push r29
+    push r30
+    push r31
+    ; tick counter (16-bit)
+    lds r16, TICK_LO
+    lds r17, TICK_HI
+    subi r16, 0xFF      ; +1
+    sbci r17, 0xFF
+    sts TICK_LO, r16
+    sts TICK_HI, r17
+    ; walk the soft timers
+    ldi r28, lo8(TIMERS)
+    ldi r29, hi8(TIMERS)
+    ldi r17, NUM_TIMERS
+tick_slot:
+    ldd r18, Y+0
+    ldd r19, Y+1
+    mov r16, r18
+    or r16, r19
+    breq tick_next      ; count 0 = disabled
+    subi r18, 1
+    sbci r19, 0
+    std Y+0, r18
+    std Y+1, r19
+    mov r16, r18
+    or r16, r19
+    brne tick_next
+    ; expired: reload (0 reload = one-shot) and post the task
+    ldd r18, Y+2
+    ldd r19, Y+3
+    std Y+0, r18
+    std Y+1, r19
+    ldd r30, Y+4
+    ldd r31, Y+5
+    rcall post_task
+tick_next:
+    adiw r28, 6
+    dec r17
+    brne tick_slot
+    pop r31
+    pop r30
+    pop r29
+    pop r28
+    pop r27
+    pop r26
+    pop r19
+    pop r18
+    pop r17
+    pop r16
+    out 0x3F, r16
+    pop r16
+    reti
+
+; ---- ADC completion: latch the sample, post the app's task ----
+; The app stores the continuation task word-address in ADC_TASK.
+.equ ADC_TASK, APP_VARS + 14
+isr_adc:
+    push r16
+    in r16, 0x3F
+    push r16
+    push r17
+    push r18
+    push r19
+    push r26
+    push r27
+    push r30
+    push r31
+    in r16, IO_ADC_DATA
+    sts ADC_VALUE, r16
+    lds r30, ADC_TASK
+    lds r31, ADC_TASK + 1
+    rcall post_task
+    pop r31
+    pop r30
+    pop r27
+    pop r26
+    pop r19
+    pop r18
+    pop r17
+    pop r16
+    out 0x3F, r16
+    pop r16
+    reti
+
+; ---- send-done: nothing to do in the mini-runtime ----
+isr_senddone:
+    reti
+
+; ============================================================
+; Active-message layer (AMStandard → QueuedSend → radio stack)
+; Convention: payload staged at SCRATCH, r20 = payload length.
+; ============================================================
+am_send:
+    rcall am_fill_header
+    rcall am_copy_payload
+    ; QueuedSend: TinyOS serialises radio access by posting a task
+    ; rather than calling the radio directly.
+    push r30
+    push r31
+    ldi r30, lo8(queued_send_task / 2)
+    ldi r31, hi8(queued_send_task / 2)
+    rcall post_task
+    pop r31
+    pop r30
+    ret
+queued_send_task:
+am_handoff:             ; PROBE ANCHOR: packet handed to the radio stack
+    rcall radio_stack_send
+    ret
+
+am_fill_header:
+    ldi r26, lo8(TXBUF)
+    ldi r27, hi8(TXBUF)
+    ldi r16, 0x41       ; FCF: data, intra-PAN, short addressing
+    st X+, r16
+    ldi r16, 0x88
+    st X+, r16
+    lds r16, SEQ
+    st X+, r16
+    inc r16
+    sts SEQ, r16
+    ldi r16, lo8(PAN_ID)
+    st X+, r16
+    ldi r16, hi8(PAN_ID)
+    st X+, r16
+    ldi r16, lo8(DEST_ADDR)
+    st X+, r16
+    ldi r16, hi8(DEST_ADDR)
+    st X+, r16
+    ldi r16, lo8(LOCAL_ADDR)
+    st X+, r16
+    ldi r16, hi8(LOCAL_ADDR)
+    st X+, r16
+    ret
+
+am_copy_payload:
+    ; X continues past the header (left there by am_fill_header).
+    ldi r26, lo8(TXBUF + 9)
+    ldi r27, hi8(TXBUF + 9)
+    ldi r28, lo8(SCRATCH)
+    ldi r29, hi8(SCRATCH)
+    mov r17, r20
+    tst r17
+    breq am_copy_done
+am_copy_loop:
+    ld r16, Y+
+    st X+, r16
+    dec r17
+    brne am_copy_loop
+am_copy_done:
+    mov r16, r20
+    subi r16, -11       ; MAC length = 9 header + payload + 2 FCS
+    sts TX_LEN, r16
+    ret
+
+; ---- the "radio stack": software CRC + hand to the port ----
+; (The paper excludes these cycles from its comparisons; probes end at
+; am_handoff, before this routine runs.)
+radio_stack_send:
+    ldi r26, lo8(TXBUF)
+    ldi r27, hi8(TXBUF)
+    lds r17, TX_LEN
+    subi r17, 2         ; CRC covers header + payload
+    rcall crc16
+    st X+, r24          ; append FCS, little-endian
+    st X+, r25
+    lds r16, TX_LEN
+    out IO_RADIO_SEND, r16
+    ret
+
+; ---- CRC-16 (ITU-T, reflected 0x8408) over r17 bytes at X ----
+crc16:
+    ldi r24, 0
+    ldi r25, 0
+crc_byte:
+    ld r16, X+
+    eor r24, r16
+    ldi r18, 8
+crc_bit:
+    mov r19, r24
+    andi r19, 1
+    lsr r25
+    ror r24
+    tst r19
+    breq crc_noxor
+    ldi r19, 0x84       ; crc ^= 0x8408
+    eor r25, r19
+    ldi r19, 0x08
+    eor r24, r19
+crc_noxor:
+    dec r18
+    brne crc_bit
+    dec r17
+    brne crc_byte
+    ret
+"#,
+        );
+
+        // ---- receive path --------------------------------------------------
+        if self.handles_rx {
+            src.push_str(
+                r#"
+; ---- receive: post the dispatch task ----
+isr_rx:
+    push r16
+    in r16, 0x3F
+    push r16
+    push r17
+    push r18
+    push r19
+    push r26
+    push r27
+    push r30
+    push r31
+    ldi r30, lo8(rx_task / 2)
+    ldi r31, hi8(rx_task / 2)
+    rcall post_task
+    pop r31
+    pop r30
+    pop r27
+    pop r26
+    pop r19
+    pop r18
+    pop r17
+    pop r16
+    out 0x3F, r16
+    pop r16
+    reti
+
+; ---- AM dispatch: classify the frame in RXBUF ----
+rx_task:
+    lds r16, RXBUF      ; FCF low byte; bits 0-2 = frame type
+    andi r16, 0x07
+    cpi r16, 3          ; MAC command frame → irregular
+    breq rx_irregular
+    lds r16, RXBUF + 5  ; destination address
+    cpi r16, lo8(LOCAL_ADDR)
+    brne rx_forward
+    lds r16, RXBUF + 6
+    cpi r16, hi8(LOCAL_ADDR)
+    brne rx_forward
+rx_irregular:
+    rcall app_rx_irregular
+    ret
+rx_forward:
+    rcall lib_forward
+    ret
+
+; ---- forwarding with software duplicate suppression ----
+lib_forward:
+    ; key: src lo (RXBUF+7), src hi (RXBUF+8), seq (RXBUF+2)
+    lds r18, RXBUF + 7
+    lds r19, RXBUF + 8
+    lds r20, RXBUF + 2
+    ; linear search of the seen table
+    ldi r28, lo8(SEEN)
+    ldi r29, hi8(SEEN)
+    ldi r17, 8          ; SEEN_ENTRIES
+seen_loop:
+    ldd r16, Y+0
+    cp r16, r18
+    brne seen_next
+    ldd r16, Y+1
+    cp r16, r19
+    brne seen_next
+    ldd r16, Y+2
+    cp r16, r20
+    brne seen_next
+    ret                 ; duplicate: drop silently
+seen_next:
+    adiw r28, 3
+    dec r17
+    brne seen_loop
+    ; record in the eviction slot
+    lds r16, SEEN_IDX
+    mov r26, r16
+    ldi r27, 0
+    lsl r26             ; ×3 = ×2 + ×1
+    add r26, r16
+    adc r27, r1
+    subi r26, lo8(-(SEEN))
+    sbci r27, hi8(-(SEEN))
+    st X+, r18
+    st X+, r19
+    st X, r20
+    inc r16
+    andi r16, 0x07
+    sts SEEN_IDX, r16
+    ; copy RXBUF → TXBUF (whole MAC frame, verbatim)
+    in r17, IO_RADIO_RXLEN
+    ldi r26, lo8(RXBUF)
+    ldi r27, hi8(RXBUF)
+    ldi r28, lo8(TXBUF)
+    ldi r29, hi8(TXBUF)
+fwd_copy:
+    ld r16, X+
+    st Y+, r16
+    dec r17
+    brne fwd_copy
+fwd_handoff:            ; PROBE ANCHOR: forward handed to the radio stack
+    in r16, IO_RADIO_RXLEN
+    out IO_RADIO_SEND, r16
+    ret
+"#,
+            );
+        } else {
+            src.push_str(
+                r#"
+isr_rx:
+    reti
+"#,
+            );
+        }
+
+        // ---- application fragments ----------------------------------------
+        src.push_str("\n; ============ application code ============\n");
+        src.push_str(&self.app_code);
+        src.push('\n');
+        src
+    }
+
+    /// Assemble the runtime + application into an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first assembly error (line numbers refer to the
+    /// generated source; see [`source`](Self::source)).
+    pub fn build(&self) -> Result<Image, AsmError> {
+        assemble(&self.source())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Mica2Board;
+    use ulp_net::Frame;
+    use ulp_sim::{Cycles, Engine, Simulatable};
+
+    /// App: every tick (soft timer period 1), sample the ADC; on the
+    /// sample, stage it as a 1-byte payload and send.
+    fn sampling_app() -> RuntimeBuilder {
+        RuntimeBuilder::new(0x0005)
+            .addressing(0x0022, 0x0000)
+            .app_init(
+                r#"
+    ; soft timer 0: period 1 tick, repeating, task = sample_task
+    ldi r16, 1
+    sts TIMERS + 0, r16     ; count lo
+    sts TIMERS + 2, r16     ; reload lo
+    ldi r16, 0
+    sts TIMERS + 1, r16
+    sts TIMERS + 3, r16
+    ldi r16, lo8(sample_task / 2)
+    sts TIMERS + 4, r16
+    ldi r16, hi8(sample_task / 2)
+    sts TIMERS + 5, r16
+    ; ADC continuation
+    ldi r16, lo8(send_task / 2)
+    sts ADC_TASK, r16
+    ldi r16, hi8(send_task / 2)
+    sts ADC_TASK + 1, r16
+"#,
+            )
+            .app_code(
+                r#"
+sample_task:
+    ldi r16, 1
+    out IO_ADC_CTRL, r16
+    ret
+send_task:
+    lds r16, ADC_VALUE
+    sts SCRATCH, r16
+    ldi r20, 1
+    rcall am_send
+send_done:
+    ret
+"#,
+            )
+    }
+
+    #[test]
+    fn runtime_assembles() {
+        let img = sampling_app().build().expect("runtime must assemble");
+        assert!(img.byte_len() > 400, "non-trivial code size");
+        assert!(img.symbol("scheduler").is_some());
+        assert!(img.symbol("am_handoff").is_some());
+    }
+
+    #[test]
+    fn sampling_app_sends_decodable_frames() {
+        let img = sampling_app().build().unwrap();
+        let mut board = Mica2Board::new(&img, Box::new(|_| 77));
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(80_000)); // ~10 ticks
+        board = engine.into_machine();
+        assert!(!board.halted(), "runtime must not halt");
+        let sent = board.take_sent();
+        assert!(sent.len() >= 5, "got {} packets", sent.len());
+        let frame = Frame::decode(&sent[0].1).expect("valid 802.15.4 frame");
+        assert_eq!(frame.payload, vec![77]);
+        assert_eq!(frame.src, 0x0005);
+        assert_eq!(frame.dest, 0x0000);
+        assert_eq!(frame.pan, 0x0022);
+        // Sequence numbers advance.
+        let f2 = Frame::decode(&sent[1].1).unwrap();
+        assert_eq!(f2.seq, frame.seq.wrapping_add(1));
+    }
+
+    #[test]
+    fn send_path_probe_measures_hundreds_of_cycles() {
+        let img = sampling_app().build().unwrap();
+        let mut board = Mica2Board::new(&img, Box::new(|_| 1));
+        let probe = board.probe_symbols(&img, "send_path", "isr_tick", "am_handoff");
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(40_000));
+        let board = engine.machine();
+        let p = board.probe(probe);
+        assert!(!p.results().is_empty(), "probe never completed");
+        let cycles = p.results()[0];
+        assert!(
+            (300..4000).contains(&cycles),
+            "send path {cycles} cycles; the paper's Mica2 order is ~1522"
+        );
+    }
+
+    #[test]
+    fn forwarding_dedups_in_software() {
+        let app = RuntimeBuilder::new(0x0005).handles_rx(true).app_code(
+            r#"
+app_rx_irregular:
+    lds r16, APP_VARS       ; count irregulars
+    inc r16
+    sts APP_VARS, r16
+    ret
+"#,
+        );
+        let img = app.build().unwrap();
+        let mut board = Mica2Board::new(&img, Box::new(|_| 0));
+        let fwd = Frame::data(0x22, 0x0009, 0x0000, 7, &[1, 2, 3]).unwrap();
+        board.schedule_rx(Cycles(20_000), fwd.encode());
+        board.schedule_rx(Cycles(60_000), fwd.encode()); // duplicate
+        let other = Frame::data(0x22, 0x0009, 0x0000, 8, &[4]).unwrap();
+        board.schedule_rx(Cycles(100_000), other.encode());
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(200_000));
+        let mut board = engine.into_machine();
+        assert!(!board.halted());
+        let sent = board.take_sent();
+        assert_eq!(sent.len(), 2, "duplicate must be suppressed");
+        assert_eq!(sent[0].1, fwd.encode(), "forwarded verbatim");
+        assert_eq!(sent[1].1, other.encode());
+    }
+
+    #[test]
+    fn irregular_frames_reach_the_app() {
+        let app = RuntimeBuilder::new(0x0005).handles_rx(true).app_code(
+            r#"
+app_rx_irregular:
+    lds r16, APP_VARS
+    inc r16
+    sts APP_VARS, r16
+    ret
+"#,
+        );
+        let img = app.build().unwrap();
+        let mut board = Mica2Board::new(&img, Box::new(|_| 0));
+        // A command frame, and a data frame addressed to this node.
+        let cmd = Frame::command(0x22, 0x0009, 0x0005, 1, &[9]).unwrap();
+        let tome = Frame::data(0x22, 0x0009, 0x0005, 2, &[8]).unwrap();
+        board.schedule_rx(Cycles(20_000), cmd.encode());
+        board.schedule_rx(Cycles(60_000), tome.encode());
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(120_000));
+        let mut board = engine.into_machine();
+        assert_eq!(board.ram(layout::APP_VARS), 2);
+        assert!(board.take_sent().is_empty(), "nothing forwarded");
+    }
+
+    #[test]
+    fn crc_matches_reference_implementation() {
+        // Assemble a tiny harness around the runtime's crc16 and compare
+        // against ulp_net::crc16.
+        let app = RuntimeBuilder::new(1).app_init(
+            r#"
+    ; stage "123456789" at TXBUF and call crc16 directly
+    ldi r26, lo8(TXBUF)
+    ldi r27, hi8(TXBUF)
+    ldi r16, '1'
+    st X+, r16
+    ldi r16, '2'
+    st X+, r16
+    ldi r16, '3'
+    st X+, r16
+    ldi r16, '4'
+    st X+, r16
+    ldi r16, '5'
+    st X+, r16
+    ldi r16, '6'
+    st X+, r16
+    ldi r16, '7'
+    st X+, r16
+    ldi r16, '8'
+    st X+, r16
+    ldi r16, '9'
+    st X+, r16
+    ldi r26, lo8(TXBUF)
+    ldi r27, hi8(TXBUF)
+    ldi r17, 9
+    rcall crc16
+    sts APP_VARS, r24
+    sts APP_VARS + 1, r25
+    break
+"#,
+        );
+        let img = app.build().unwrap();
+        let mut board = Mica2Board::new(&img, Box::new(|_| 0));
+        while !board.halted() {
+            board.step();
+        }
+        let got =
+            u16::from_le_bytes([board.ram(layout::APP_VARS), board.ram(layout::APP_VARS + 1)]);
+        assert_eq!(got, ulp_net::crc16(b"123456789"));
+        assert_eq!(got, 0x2189);
+    }
+
+    #[test]
+    fn idle_skip_preserves_behaviour() {
+        let img = sampling_app().build().unwrap();
+        let run = |ff: bool| {
+            let board = Mica2Board::new(&img, Box::new(|_| 5));
+            let mut e = Engine::new(board);
+            e.set_fast_forward(ff);
+            e.run_until_cycle(Cycles(100_000));
+            let mut b = e.into_machine();
+            (b.take_sent().len(), b.mode_cycles().0)
+        };
+        let (sent_fast, active_fast) = run(true);
+        let (sent_slow, active_slow) = run(false);
+        assert_eq!(sent_fast, sent_slow);
+        assert_eq!(active_fast, active_slow);
+    }
+}

@@ -1,0 +1,250 @@
+//! Broadcast medium for multi-node co-simulation.
+//!
+//! All registered endpoints hear every transmission (single collision
+//! domain, like the deployments in §3 where nodes are one hop from the
+//! base station or relay for each other). Each receiver independently
+//! loses a frame with the configured probability, modelling fading
+//! without a full path-loss model — enough to exercise the
+//! retransmission-free, duplicate-suppressing forwarding logic of the
+//! message processor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Medium configuration.
+#[derive(Debug, Clone)]
+pub struct MediumConfig {
+    /// Independent per-receiver probability a frame is lost.
+    pub loss_probability: f64,
+    /// Propagation + synchronisation delay added to every delivery, µs.
+    pub propagation_delay_us: u64,
+    /// RNG seed (the medium is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        MediumConfig {
+            loss_probability: 0.0,
+            propagation_delay_us: 0,
+            seed: 0x0154_2005, // "15.4 2005"
+        }
+    }
+}
+
+/// A frame delivered to an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival time, µs.
+    pub at_us: u64,
+    /// Index of the transmitting endpoint.
+    pub from: usize,
+    /// The raw MAC bytes as transmitted.
+    pub bytes: Vec<u8>,
+}
+
+/// Cumulative medium statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumStats {
+    /// Frames transmitted.
+    pub sent: u64,
+    /// Frame deliveries (one per receiving endpoint).
+    pub delivered: u64,
+    /// Frame losses (one per receiving endpoint that missed it).
+    pub lost: u64,
+}
+
+/// The shared broadcast medium.
+#[derive(Debug)]
+pub struct Medium {
+    config: MediumConfig,
+    rng: StdRng,
+    queues: Vec<VecDeque<Delivery>>,
+    stats: MediumStats,
+}
+
+impl Medium {
+    /// An empty medium.
+    pub fn new(config: MediumConfig) -> Medium {
+        assert!(
+            (0.0..=1.0).contains(&config.loss_probability),
+            "loss probability must be in [0, 1]"
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        Medium {
+            config,
+            rng,
+            queues: Vec::new(),
+            stats: MediumStats::default(),
+        }
+    }
+
+    /// Register an endpoint; the returned index identifies it in
+    /// [`transmit`](Medium::transmit)/[`poll`](Medium::poll).
+    pub fn register(&mut self) -> usize {
+        self.queues.push(VecDeque::new());
+        self.queues.len() - 1
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Broadcast `bytes` from endpoint `from` at time `at_us`. Every
+    /// *other* endpoint receives it (subject to loss) after the
+    /// propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a registered endpoint.
+    pub fn transmit(&mut self, from: usize, at_us: u64, bytes: &[u8]) {
+        assert!(from < self.queues.len(), "unknown endpoint {from}");
+        self.stats.sent += 1;
+        let arrival = at_us + self.config.propagation_delay_us;
+        for idx in 0..self.queues.len() {
+            if idx == from {
+                continue;
+            }
+            if self.rng.gen_bool(self.config.loss_probability) {
+                self.stats.lost += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            self.queues[idx].push_back(Delivery {
+                at_us: arrival,
+                from,
+                bytes: bytes.to_vec(),
+            });
+        }
+    }
+
+    /// Drain deliveries for `endpoint` that have arrived by `now_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoint` is not registered.
+    pub fn poll(&mut self, endpoint: usize, now_us: u64) -> Vec<Delivery> {
+        let q = &mut self.queues[endpoint];
+        let mut out = Vec::new();
+        while let Some(front) = q.front() {
+            if front.at_us <= now_us {
+                out.push(q.pop_front().expect("non-empty"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Earliest pending arrival time for `endpoint`, if any (lets node
+    /// simulations idle-skip to it).
+    pub fn next_arrival(&self, endpoint: usize) -> Option<u64> {
+        self.queues[endpoint].front().map(|d| d.at_us)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> MediumStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_broadcast_reaches_all_others() {
+        let mut m = Medium::new(MediumConfig::default());
+        let a = m.register();
+        let b = m.register();
+        let c = m.register();
+        m.transmit(a, 100, &[1, 2, 3]);
+        assert!(m.poll(a, 1_000).is_empty(), "no self-reception");
+        let db = m.poll(b, 1_000);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].bytes, vec![1, 2, 3]);
+        assert_eq!(db[0].from, a);
+        assert_eq!(m.poll(c, 1_000).len(), 1);
+        assert_eq!(m.stats().sent, 1);
+        assert_eq!(m.stats().delivered, 2);
+    }
+
+    #[test]
+    fn delivery_respects_time() {
+        let mut m = Medium::new(MediumConfig {
+            propagation_delay_us: 50,
+            ..MediumConfig::default()
+        });
+        let a = m.register();
+        let b = m.register();
+        m.transmit(a, 100, &[7]);
+        assert!(m.poll(b, 149).is_empty());
+        assert_eq!(m.next_arrival(b), Some(150));
+        assert_eq!(m.poll(b, 150).len(), 1);
+        assert_eq!(m.next_arrival(b), None);
+    }
+
+    #[test]
+    fn deliveries_drain_in_order() {
+        let mut m = Medium::new(MediumConfig::default());
+        let a = m.register();
+        let b = m.register();
+        m.transmit(a, 10, &[1]);
+        m.transmit(a, 20, &[2]);
+        let d = m.poll(b, 100);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].bytes, vec![1]);
+        assert_eq!(d[1].bytes, vec![2]);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut m = Medium::new(MediumConfig {
+            loss_probability: 1.0,
+            ..MediumConfig::default()
+        });
+        let a = m.register();
+        let b = m.register();
+        m.transmit(a, 0, &[1]);
+        assert!(m.poll(b, 1_000).is_empty());
+        assert_eq!(m.stats().lost, 1);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = Medium::new(MediumConfig {
+                loss_probability: 0.5,
+                seed,
+                ..MediumConfig::default()
+            });
+            let a = m.register();
+            let _b = m.register();
+            for i in 0..100 {
+                m.transmit(a, i, &[i as u8]);
+            }
+            m.stats().delivered
+        };
+        assert_eq!(run(1), run(1), "same seed, same outcome");
+        let d = run(42);
+        assert!((20..80).contains(&d), "roughly half delivered, got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown endpoint")]
+    fn unregistered_transmit_panics() {
+        let mut m = Medium::new(MediumConfig::default());
+        m.transmit(0, 0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bad_loss_probability_rejected() {
+        let _ = Medium::new(MediumConfig {
+            loss_probability: 1.5,
+            ..MediumConfig::default()
+        });
+    }
+}

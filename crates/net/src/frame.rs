@@ -1,0 +1,341 @@
+//! IEEE 802.15.4 MAC frames with short (16-bit) addressing.
+//!
+//! The message processor handles "standard 802.15.4 packets" (§4.3.5).
+//! We implement the data/command frame layout with intra-PAN short
+//! addressing — the layout the CC2420 and TinyOS's `TOSMsg` use — plus
+//! the 2-byte ITU-T CRC FCS the radio hardware verifies.
+
+use std::fmt;
+
+/// Broadcast short address.
+pub const BROADCAST: u16 = 0xFFFF;
+
+/// MAC header length for intra-PAN short addressing:
+/// FCF(2) + seq(1) + PAN(2) + dest(2) + src(2).
+pub const MHR_LEN: usize = 9;
+
+/// FCS trailer length.
+pub const FCS_LEN: usize = 2;
+
+/// Maximum PHY frame size (aMaxPHYPacketSize).
+pub const MAX_FRAME: usize = 127;
+
+/// Maximum payload for our frames.
+pub const MAX_PAYLOAD: usize = MAX_FRAME - MHR_LEN - FCS_LEN;
+
+/// 802.15.4 frame types (FCF bits 0–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Beacon frame.
+    Beacon,
+    /// Data frame.
+    Data,
+    /// Acknowledgement frame.
+    Ack,
+    /// MAC command frame.
+    Command,
+}
+
+impl FrameType {
+    fn bits(self) -> u16 {
+        match self {
+            FrameType::Beacon => 0,
+            FrameType::Data => 1,
+            FrameType::Ack => 2,
+            FrameType::Command => 3,
+        }
+    }
+
+    fn from_bits(b: u16) -> Option<FrameType> {
+        Some(match b & 0x7 {
+            0 => FrameType::Beacon,
+            1 => FrameType::Data,
+            2 => FrameType::Ack,
+            3 => FrameType::Command,
+            _ => return None,
+        })
+    }
+}
+
+/// Error decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Too short to hold header + FCS.
+    Truncated {
+        /// Bytes available.
+        len: usize,
+    },
+    /// Longer than the PHY allows, or payload over [`MAX_PAYLOAD`].
+    TooLong {
+        /// Offending length.
+        len: usize,
+    },
+    /// FCS mismatch (corrupted in flight).
+    BadFcs {
+        /// FCS found in the frame.
+        got: u16,
+        /// FCS computed over the received bytes.
+        want: u16,
+    },
+    /// Reserved frame type or unsupported addressing mode.
+    Malformed,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { len } => write!(f, "frame truncated at {len} bytes"),
+            FrameError::TooLong { len } => write!(f, "frame length {len} exceeds 802.15.4 limits"),
+            FrameError::BadFcs { got, want } => {
+                write!(f, "bad FCS: got 0x{got:04X}, computed 0x{want:04X}")
+            }
+            FrameError::Malformed => write!(f, "malformed frame header"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A decoded 802.15.4 MAC frame (intra-PAN, short addressing).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Frame type.
+    pub frame_type: FrameType,
+    /// Acknowledgement-request FCF bit.
+    pub ack_request: bool,
+    /// Sequence number.
+    pub seq: u8,
+    /// PAN identifier.
+    pub pan: u16,
+    /// Destination short address ([`BROADCAST`] for broadcast).
+    pub dest: u16,
+    /// Source short address.
+    pub src: u16,
+    /// MAC payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A data frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `payload` exceeds [`MAX_PAYLOAD`].
+    pub fn data(
+        pan: u16,
+        src: u16,
+        dest: u16,
+        seq: u8,
+        payload: &[u8],
+    ) -> Result<Frame, FrameError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(FrameError::TooLong { len: payload.len() });
+        }
+        Ok(Frame {
+            frame_type: FrameType::Data,
+            ack_request: false,
+            seq,
+            pan,
+            dest,
+            src,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// A MAC command frame (used by the reconfiguration messages of
+    /// application 4).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `payload` exceeds [`MAX_PAYLOAD`].
+    pub fn command(
+        pan: u16,
+        src: u16,
+        dest: u16,
+        seq: u8,
+        payload: &[u8],
+    ) -> Result<Frame, FrameError> {
+        let mut f = Frame::data(pan, src, dest, seq, payload)?;
+        f.frame_type = FrameType::Command;
+        Ok(f)
+    }
+
+    /// Whether this frame is addressed to `addr` (or broadcast).
+    pub fn addressed_to(&self, addr: u16) -> bool {
+        self.dest == addr || self.dest == BROADCAST
+    }
+
+    /// Total encoded length including FCS.
+    pub fn encoded_len(&self) -> usize {
+        MHR_LEN + self.payload.len() + FCS_LEN
+    }
+
+    /// Encode into MAC bytes (header, payload, FCS).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        // FCF: type | intra-PAN (bit 6) | ack-request (bit 5) |
+        // dest mode = short (bits 11:10 = 0b10), src mode = short (15:14).
+        let mut fcf: u16 = self.frame_type.bits();
+        if self.ack_request {
+            fcf |= 1 << 5;
+        }
+        fcf |= 1 << 6; // intra-PAN
+        fcf |= 0b10 << 10;
+        fcf |= 0b10 << 14;
+        out.extend_from_slice(&fcf.to_le_bytes());
+        out.push(self.seq);
+        out.extend_from_slice(&self.pan.to_le_bytes());
+        out.extend_from_slice(&self.dest.to_le_bytes());
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let fcs = crc16(&out);
+        out.extend_from_slice(&fcs.to_le_bytes());
+        out
+    }
+
+    /// Decode MAC bytes, verifying length, addressing mode, and FCS.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`FrameError`] for truncated, oversized,
+    /// corrupted, or unsupported frames.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < MHR_LEN + FCS_LEN {
+            return Err(FrameError::Truncated { len: bytes.len() });
+        }
+        if bytes.len() > MAX_FRAME {
+            return Err(FrameError::TooLong { len: bytes.len() });
+        }
+        let body = &bytes[..bytes.len() - FCS_LEN];
+        let got = u16::from_le_bytes([bytes[bytes.len() - 2], bytes[bytes.len() - 1]]);
+        let want = crc16(body);
+        if got != want {
+            return Err(FrameError::BadFcs { got, want });
+        }
+        let fcf = u16::from_le_bytes([bytes[0], bytes[1]]);
+        let frame_type = FrameType::from_bits(fcf).ok_or(FrameError::Malformed)?;
+        if (fcf >> 10) & 0b11 != 0b10 || (fcf >> 14) & 0b11 != 0b10 {
+            return Err(FrameError::Malformed); // only short addressing
+        }
+        Ok(Frame {
+            frame_type,
+            ack_request: fcf & (1 << 5) != 0,
+            seq: bytes[2],
+            pan: u16::from_le_bytes([bytes[3], bytes[4]]),
+            dest: u16::from_le_bytes([bytes[5], bytes[6]]),
+            src: u16::from_le_bytes([bytes[7], bytes[8]]),
+            payload: body[MHR_LEN..].to_vec(),
+        })
+    }
+}
+
+/// ITU-T CRC-16 as specified for the 802.15.4 FCS: polynomial
+/// x¹⁶+x¹²+x⁵+1, LSB-first (reflected polynomial 0x8408), zero initial
+/// value.
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &b in bytes {
+        crc ^= b as u16;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0x8408;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_data_frame() {
+        let f = Frame::data(0x22, 1, 2, 42, &[9, 8, 7]).unwrap();
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), MHR_LEN + 3 + FCS_LEN);
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_command_frame_with_ack() {
+        let mut f = Frame::command(0x22, 3, BROADCAST, 0, &[1]).unwrap();
+        f.ack_request = true;
+        let back = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(back.frame_type, FrameType::Command);
+        assert!(back.ack_request);
+        assert!(back.addressed_to(0x1234), "broadcast reaches everyone");
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let f = Frame::data(0, 0, 0, 0, &[]).unwrap();
+        assert_eq!(
+            Frame::decode(&f.encode()).unwrap().payload,
+            Vec::<u8>::new()
+        );
+        assert_eq!(f.encoded_len(), 11);
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        assert!(matches!(
+            Frame::data(0, 0, 0, 0, &big),
+            Err(FrameError::TooLong { .. })
+        ));
+        let ok = vec![0u8; MAX_PAYLOAD];
+        let f = Frame::data(0, 0, 0, 0, &ok).unwrap();
+        assert_eq!(f.encode().len(), MAX_FRAME);
+    }
+
+    #[test]
+    fn corruption_detected_by_fcs() {
+        let f = Frame::data(0x22, 1, 2, 0, &[1, 2, 3, 4]).unwrap();
+        let mut bytes = f.encode();
+        for i in 0..bytes.len() - FCS_LEN {
+            bytes[i] ^= 0x10;
+            assert!(
+                matches!(Frame::decode(&bytes), Err(FrameError::BadFcs { .. })),
+                "flip at {i} undetected"
+            );
+            bytes[i] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let f = Frame::data(0x22, 1, 2, 0, &[1, 2, 3]).unwrap();
+        let bytes = f.encode();
+        assert!(matches!(
+            Frame::decode(&bytes[..5]),
+            Err(FrameError::Truncated { len: 5 })
+        ));
+    }
+
+    #[test]
+    fn addressing() {
+        let f = Frame::data(0x22, 1, 7, 0, &[]).unwrap();
+        assert!(f.addressed_to(7));
+        assert!(!f.addressed_to(8));
+    }
+
+    #[test]
+    fn crc16_known_values() {
+        // CRC of empty input is 0.
+        assert_eq!(crc16(&[]), 0);
+        // ITU-T CRC16 (Kermit) of "123456789" is 0x2189.
+        assert_eq!(crc16(b"123456789"), 0x2189);
+    }
+
+    #[test]
+    fn fcs_appended_little_endian() {
+        let f = Frame::data(0, 0, 0, 0, &[]).unwrap();
+        let bytes = f.encode();
+        let fcs = crc16(&bytes[..bytes.len() - 2]);
+        assert_eq!(bytes[bytes.len() - 2], fcs as u8);
+        assert_eq!(bytes[bytes.len() - 1], (fcs >> 8) as u8);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Networking substrate: IEEE 802.15.4 frames, radio PHY timing, a lossy
+//! broadcast channel, and traffic generators.
+//!
+//! The paper's architecture assumes a CC2420-class 802.15.4 radio with the
+//! MAC/PHY implemented in hardware ("a simple radio model enables us to
+//! fully test our system architecture concepts without having to
+//! explicitly build a transceiver", §4.3.6). This crate is that radio
+//! model's substrate: the frame codec the message processor operates on,
+//! the 250 kbit/s timing that sets the 100 kHz system-clock requirement,
+//! and a channel model for multi-node co-simulation (receive/forward
+//! workloads for applications 3 and 4 of §6.1.2).
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_net::{Frame, FrameType};
+//!
+//! let frame = Frame::data(0x22, 0x0001, 0x0002, 7, &[1, 2, 3])?;
+//! let bytes = frame.encode();
+//! let back = Frame::decode(&bytes)?;
+//! assert_eq!(back.payload, vec![1, 2, 3]);
+//! assert_eq!(back.frame_type, FrameType::Data);
+//! # Ok::<(), ulp_net::FrameError>(())
+//! ```
+
+mod channel;
+mod frame;
+mod phy;
+mod traffic;
+
+pub use channel::{Delivery, Medium, MediumConfig};
+pub use frame::{crc16, Frame, FrameError, FrameType, BROADCAST, MAX_FRAME, MAX_PAYLOAD, MHR_LEN};
+pub use phy::{PhyTiming, SymbolRate};
+pub use traffic::{PeriodicTraffic, PoissonTraffic, TrafficSource};

@@ -1,0 +1,357 @@
+//! The simulation engine: cycle stepping with idle-skip fast-forward.
+//!
+//! Sensor-network workloads are overwhelmingly idle — the Great Duck Island
+//! deployment sampled once every 70 seconds (7 million cycles at the
+//! system's 100 kHz clock) and its duty cycle was ~10⁻⁴. Stepping every
+//! cycle would make lifetime studies (months to years of simulated time)
+//! impractical, so the engine asks the machine when it will next do
+//! anything and, when the machine reports itself idle, jumps straight
+//! there. Machines must account idle energy for skipped spans inside
+//! [`Simulatable::skip_to`]; the `fast_forward_equivalence` integration
+//! test verifies that skipping changes neither cycle counts nor energy.
+
+use crate::units::Cycles;
+
+/// What a machine did during one stepped cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Work happened (or is imminent); keep stepping cycle by cycle.
+    Busy,
+    /// Nothing is in flight; the engine may fast-forward to `next_wakeup`.
+    Idle,
+    /// The machine has halted permanently (e.g. a test program finished).
+    Halted,
+}
+
+/// A machine the engine can drive.
+///
+/// Implementations advance exactly one clock cycle per [`step`] call and
+/// must keep their own cycle counter, exposed through [`now`].
+///
+/// [`step`]: Simulatable::step
+/// [`now`]: Simulatable::now
+pub trait Simulatable {
+    /// Current simulated time in cycles.
+    fn now(&self) -> Cycles;
+
+    /// Advance one cycle.
+    fn step(&mut self) -> StepOutcome;
+
+    /// The earliest future cycle at which the machine could become busy
+    /// (e.g. the next timer expiry or scheduled packet arrival), or `None`
+    /// if no future activity is scheduled.
+    fn next_wakeup(&self) -> Option<Cycles>;
+
+    /// Jump to `target` (strictly after [`now`](Simulatable::now)),
+    /// accounting idle time/energy for the skipped span. Only called when
+    /// the last [`step`](Simulatable::step) returned [`StepOutcome::Idle`].
+    fn skip_to(&mut self, target: Cycles);
+}
+
+/// Statistics from one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cycles executed one at a time.
+    pub stepped: Cycles,
+    /// Cycles covered by idle-skip fast-forwarding.
+    pub skipped: Cycles,
+    /// Whether the machine reported [`StepOutcome::Halted`].
+    pub halted: bool,
+}
+
+impl RunStats {
+    /// Total simulated cycles covered by the run.
+    pub fn total(&self) -> Cycles {
+        self.stepped + self.skipped
+    }
+
+    fn merge(&mut self, other: RunStats) {
+        self.stepped += other.stepped;
+        self.skipped += other.skipped;
+        self.halted |= other.halted;
+    }
+}
+
+/// Drives a [`Simulatable`] machine.
+#[derive(Debug)]
+pub struct Engine<M> {
+    machine: M,
+    fast_forward: bool,
+    lifetime: RunStats,
+}
+
+impl<M: Simulatable> Engine<M> {
+    /// An engine with idle-skip enabled (the default).
+    pub fn new(machine: M) -> Engine<M> {
+        Engine {
+            machine,
+            fast_forward: true,
+            lifetime: RunStats::default(),
+        }
+    }
+
+    /// Enable or disable idle-skip fast-forwarding. Disabling it forces a
+    /// step for every cycle — useful for validating skip correctness.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Borrow the machine.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Mutably borrow the machine.
+    pub fn machine_mut(&mut self) -> &mut M {
+        &mut self.machine
+    }
+
+    /// Consume the engine and return the machine.
+    pub fn into_machine(self) -> M {
+        self.machine
+    }
+
+    /// Cumulative statistics across all runs of this engine.
+    pub fn lifetime_stats(&self) -> RunStats {
+        self.lifetime
+    }
+
+    /// Run for `duration` cycles from the current time.
+    pub fn run_for(&mut self, duration: Cycles) -> RunStats {
+        let deadline = self.machine.now() + duration;
+        self.run_until_cycle(deadline)
+    }
+
+    /// Run until the machine clock reaches `deadline` (absolute cycles).
+    /// Stops early if the machine halts.
+    pub fn run_until_cycle(&mut self, deadline: Cycles) -> RunStats {
+        let mut stats = RunStats::default();
+        while self.machine.now() < deadline {
+            match self.machine.step() {
+                StepOutcome::Busy => stats.stepped += Cycles(1),
+                StepOutcome::Halted => {
+                    stats.stepped += Cycles(1);
+                    stats.halted = true;
+                    break;
+                }
+                StepOutcome::Idle => {
+                    stats.stepped += Cycles(1);
+                    if !self.fast_forward {
+                        continue;
+                    }
+                    let now = self.machine.now();
+                    // Jump to the next scheduled activity, clamped to the
+                    // deadline; with no scheduled activity, to the deadline.
+                    let target = match self.machine.next_wakeup() {
+                        Some(w) if w > now => w.min(deadline),
+                        Some(_) => continue, // wakeup due now: keep stepping
+                        None => deadline,
+                    };
+                    if target > now {
+                        self.machine.skip_to(target);
+                        stats.skipped += target - now;
+                    }
+                }
+            }
+        }
+        self.lifetime.merge(stats);
+        stats
+    }
+
+    /// Run until `pred` holds (checked after every stepped cycle and every
+    /// skip), or until `max` cycles elapse. Returns the stats and whether
+    /// the predicate was satisfied.
+    pub fn run_until(&mut self, max: Cycles, mut pred: impl FnMut(&M) -> bool) -> (RunStats, bool) {
+        let deadline = self.machine.now() + max;
+        let mut stats = RunStats::default();
+        let mut satisfied = false;
+        while self.machine.now() < deadline {
+            if pred(&self.machine) {
+                satisfied = true;
+                break;
+            }
+            match self.machine.step() {
+                StepOutcome::Busy => stats.stepped += Cycles(1),
+                StepOutcome::Halted => {
+                    stats.stepped += Cycles(1);
+                    stats.halted = true;
+                    break;
+                }
+                StepOutcome::Idle => {
+                    stats.stepped += Cycles(1);
+                    if !self.fast_forward {
+                        continue;
+                    }
+                    let now = self.machine.now();
+                    let target = match self.machine.next_wakeup() {
+                        Some(w) if w > now => w.min(deadline),
+                        Some(_) => continue,
+                        None => deadline,
+                    };
+                    if target > now {
+                        self.machine.skip_to(target);
+                        stats.skipped += target - now;
+                    }
+                }
+            }
+        }
+        if !satisfied && pred(&self.machine) {
+            satisfied = true;
+        }
+        self.lifetime.merge(stats);
+        (stats, satisfied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Busy for `burst` cycles at every multiple of `period`.
+    struct Periodic {
+        now: Cycles,
+        period: u64,
+        burst: u64,
+        busy_cycles_seen: u64,
+        halt_at: Option<u64>,
+    }
+
+    impl Periodic {
+        fn new(period: u64, burst: u64) -> Periodic {
+            Periodic {
+                now: Cycles(0),
+                period,
+                burst,
+                busy_cycles_seen: 0,
+                halt_at: None,
+            }
+        }
+        fn busy_at(&self, t: u64) -> bool {
+            t % self.period < self.burst
+        }
+    }
+
+    impl Simulatable for Periodic {
+        fn now(&self) -> Cycles {
+            self.now
+        }
+        fn step(&mut self) -> StepOutcome {
+            let t = self.now.0;
+            self.now += Cycles(1);
+            if self.halt_at == Some(t) {
+                return StepOutcome::Halted;
+            }
+            if self.busy_at(t) {
+                self.busy_cycles_seen += 1;
+                StepOutcome::Busy
+            } else {
+                StepOutcome::Idle
+            }
+        }
+        fn next_wakeup(&self) -> Option<Cycles> {
+            let next_burst = (self.now.0 / self.period + 1) * self.period;
+            let next = match self.halt_at {
+                Some(h) if h >= self.now.0 => next_burst.min(h),
+                _ => next_burst,
+            };
+            Some(Cycles(next))
+        }
+        fn skip_to(&mut self, target: Cycles) {
+            assert!(target > self.now);
+            self.now = target;
+        }
+    }
+
+    #[test]
+    fn run_for_reaches_deadline_exactly() {
+        let mut e = Engine::new(Periodic::new(100, 3));
+        let stats = e.run_for(Cycles(1_000));
+        assert_eq!(e.machine().now(), Cycles(1_000));
+        assert_eq!(stats.total(), Cycles(1_000));
+    }
+
+    #[test]
+    fn fast_forward_sees_same_busy_cycles_as_full_stepping() {
+        let mut fast = Engine::new(Periodic::new(100, 3));
+        fast.run_for(Cycles(10_000));
+
+        let mut slow = Engine::new(Periodic::new(100, 3));
+        slow.set_fast_forward(false);
+        slow.run_for(Cycles(10_000));
+
+        assert_eq!(
+            fast.machine().busy_cycles_seen,
+            slow.machine().busy_cycles_seen
+        );
+        assert_eq!(fast.machine().now(), slow.machine().now());
+    }
+
+    #[test]
+    fn fast_forward_actually_skips() {
+        let mut e = Engine::new(Periodic::new(1_000, 2));
+        let stats = e.run_for(Cycles(100_000));
+        assert!(stats.skipped.0 > 90_000, "skipped {:?}", stats.skipped);
+    }
+
+    #[test]
+    fn halting_stops_the_run() {
+        let mut m = Periodic::new(100, 3);
+        m.halt_at = Some(250);
+        let mut e = Engine::new(m);
+        let stats = e.run_for(Cycles(10_000));
+        assert!(stats.halted);
+        assert_eq!(e.machine().now(), Cycles(251));
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut e = Engine::new(Periodic::new(100, 3));
+        let (_, ok) = e.run_until(Cycles(10_000), |m| m.busy_cycles_seen >= 9);
+        assert!(ok);
+        // 3 busy cycles per 100-cycle period; the 9th busy cycle happens
+        // in the third period.
+        assert!(e.machine().now().0 >= 203 && e.machine().now().0 <= 300);
+    }
+
+    #[test]
+    fn run_until_gives_up_at_max() {
+        let mut e = Engine::new(Periodic::new(100, 3));
+        let (stats, ok) = e.run_until(Cycles(500), |_| false);
+        assert!(!ok);
+        assert_eq!(stats.total(), Cycles(500));
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate() {
+        let mut e = Engine::new(Periodic::new(100, 3));
+        e.run_for(Cycles(1_000));
+        e.run_for(Cycles(1_000));
+        assert_eq!(e.lifetime_stats().total(), Cycles(2_000));
+    }
+
+    #[test]
+    fn no_wakeup_skips_to_deadline() {
+        struct Dead {
+            now: Cycles,
+        }
+        impl Simulatable for Dead {
+            fn now(&self) -> Cycles {
+                self.now
+            }
+            fn step(&mut self) -> StepOutcome {
+                self.now += Cycles(1);
+                StepOutcome::Idle
+            }
+            fn next_wakeup(&self) -> Option<Cycles> {
+                None
+            }
+            fn skip_to(&mut self, target: Cycles) {
+                self.now = target;
+            }
+        }
+        let mut e = Engine::new(Dead { now: Cycles(0) });
+        let stats = e.run_for(Cycles(1_000_000));
+        assert_eq!(stats.stepped, Cycles(1));
+        assert_eq!(stats.skipped, Cycles(999_999));
+    }
+}

@@ -1,0 +1,133 @@
+//! Component power modes and specifications.
+//!
+//! The paper characterises every block by an *active* and an *idle*
+//! (clock-gated) power at 1.2 V / 100 kHz (Table 5), with a third,
+//! much lower *Vdd-gated* state reachable through the event processor's
+//! `SWITCHON`/`SWITCHOFF` instructions (§4.2.6). We model exactly those
+//! three states.
+
+use crate::units::Power;
+
+/// The power state a component is in during a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerMode {
+    /// Switching: the component is doing work this cycle.
+    Active,
+    /// Powered but clock-gated: leaks at the idle rate.
+    Idle,
+    /// Supply-gated via the power-control lines: near-zero leakage.
+    Gated,
+}
+
+impl PowerMode {
+    /// All modes, in decreasing power order.
+    pub const ALL: [PowerMode; 3] = [PowerMode::Active, PowerMode::Idle, PowerMode::Gated];
+}
+
+impl std::fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PowerMode::Active => "active",
+            PowerMode::Idle => "idle",
+            PowerMode::Gated => "gated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-mode power draw of a component.
+///
+/// ```
+/// use ulp_sim::{PowerSpec, PowerMode, Power};
+/// // Table 5: the event processor draws 14.25 µW active, 0.018 µW idle.
+/// let ep = PowerSpec::new(Power::from_uw(14.25), Power::from_uw(0.018), Power::ZERO);
+/// assert_eq!(ep.draw(PowerMode::Active), Power::from_uw(14.25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSpec {
+    /// Power while switching.
+    pub active: Power,
+    /// Power while powered but not switching (gated clock).
+    pub idle: Power,
+    /// Power while Vdd-gated.
+    pub gated: Power,
+}
+
+impl PowerSpec {
+    /// A new power specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modes are not ordered `active >= idle >= gated`; a spec
+    /// violating that ordering is always a data-entry mistake.
+    pub fn new(active: Power, idle: Power, gated: Power) -> PowerSpec {
+        assert!(
+            active >= idle && idle >= gated,
+            "power spec must satisfy active >= idle >= gated (got {active}, {idle}, {gated})"
+        );
+        PowerSpec {
+            active,
+            idle,
+            gated,
+        }
+    }
+
+    /// A component that draws nothing in any mode (e.g. excluded commodity
+    /// parts, which the paper's estimates also exclude).
+    pub fn zero() -> PowerSpec {
+        PowerSpec::new(Power::ZERO, Power::ZERO, Power::ZERO)
+    }
+
+    /// Power drawn in the given mode.
+    pub fn draw(&self, mode: PowerMode) -> Power {
+        match mode {
+            PowerMode::Active => self.active,
+            PowerMode::Idle => self.idle,
+            PowerMode::Gated => self.gated,
+        }
+    }
+}
+
+impl Default for PowerSpec {
+    fn default() -> Self {
+        PowerSpec::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Power;
+
+    #[test]
+    fn draw_selects_mode() {
+        let s = PowerSpec::new(
+            Power::from_uw(10.0),
+            Power::from_uw(1.0),
+            Power::from_nw(1.0),
+        );
+        assert_eq!(s.draw(PowerMode::Active), Power::from_uw(10.0));
+        assert_eq!(s.draw(PowerMode::Idle), Power::from_uw(1.0));
+        assert_eq!(s.draw(PowerMode::Gated), Power::from_nw(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "active >= idle >= gated")]
+    fn misordered_spec_rejected() {
+        let _ = PowerSpec::new(Power::from_uw(1.0), Power::from_uw(2.0), Power::ZERO);
+    }
+
+    #[test]
+    fn zero_spec_draws_nothing() {
+        for mode in PowerMode::ALL {
+            assert_eq!(PowerSpec::zero().draw(mode), Power::ZERO);
+        }
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(PowerMode::Active.to_string(), "active");
+        assert_eq!(PowerMode::Idle.to_string(), "idle");
+        assert_eq!(PowerMode::Gated.to_string(), "gated");
+    }
+}

@@ -1,0 +1,158 @@
+//! Lightweight event tracing.
+//!
+//! Traces let tests and the bench harness observe microarchitectural
+//! behaviour (event-processor state transitions, bus transactions, power
+//! switching) without the machine models printing anything themselves.
+
+use crate::units::Cycles;
+use std::fmt;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time the event occurred.
+    pub at: Cycles,
+    /// Originating component (static so tracing stays allocation-light).
+    pub component: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10}] {:<12} {}",
+            self.at.0, self.component, self.detail
+        )
+    }
+}
+
+/// A bounded in-memory trace buffer. Disabled by default so the hot path
+/// pays only a branch.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    enabled: bool,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A disabled buffer with the given capacity.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            enabled: false,
+            capacity,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event if enabled; beyond capacity, events are counted as
+    /// dropped rather than silently lost.
+    pub fn record(&mut self, at: Cycles, component: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            at,
+            component,
+            detail: detail.into(),
+        });
+    }
+
+    /// Recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped due to the capacity limit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear all recorded events (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Events from a specific component.
+    pub fn from_component<'a>(
+        &'a self,
+        component: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut t = TraceBuffer::new(4);
+        t.record(Cycles(1), "ep", "LOOKUP");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = TraceBuffer::new(4);
+        t.set_enabled(true);
+        assert!(t.is_enabled());
+        t.record(Cycles(1), "ep", "LOOKUP");
+        t.record(Cycles(2), "bus", "read 0x1000");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].component, "ep");
+        assert_eq!(t.from_component("bus").count(), 1);
+    }
+
+    #[test]
+    fn capacity_counts_drops() {
+        let mut t = TraceBuffer::new(1);
+        t.set_enabled(true);
+        t.record(Cycles(1), "a", "x");
+        t.record(Cycles(2), "a", "y");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at: Cycles(42),
+            component: "ep",
+            detail: "EXECUTE TERMINATE".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("ep"));
+        assert!(s.contains("TERMINATE"));
+    }
+}

@@ -1,0 +1,525 @@
+#![warn(missing_docs)]
+//! Process-technology power/performance study (paper §5.1, Figure 3).
+//!
+//! The paper ran HSPICE transient and leakage simulations of eleven-stage
+//! ring oscillators across process nodes, supply voltages, and
+//! temperatures, then combined active and leakage power with Equation 1:
+//!
+//! ```text
+//! Ptotal = α·(T/Ttarget)·Pactive + (1 − α·(T/Ttarget))·Pleakage      (1)
+//! ```
+//!
+//! where `α` is the activity factor, `T` the measured oscillation period,
+//! and `Ttarget` = 30 µs the maximum cycle time (the time an 802.15.4
+//! radio takes to transmit one byte). We substitute HSPICE with the
+//! standard analytical forms behind the same curves: the **alpha-power
+//! law** for gate delay (velocity-saturated drain current) and an
+//! **exponential subthreshold leakage** model with temperature doubling
+//! every ~10 °C and a DIBL supply term. The paper's qualitative result —
+//! deep-submicron nodes win at high activity, older high-Vth nodes win at
+//! the low activity factors characteristic of sensor networks — falls out
+//! of these forms; see `EXPERIMENTS.md` for the reproduced Figure 3.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_tech::{RingOscillator, TechNode, Equation1, TTARGET_S};
+//!
+//! let old = RingOscillator::new(TechNode::n600());
+//! let new = RingOscillator::new(TechNode::n130());
+//! let eq = Equation1::new(TTARGET_S);
+//!
+//! // At full activity the 0.13 µm node consumes far less...
+//! let vdd_old = old.lowest_vdd(TTARGET_S, 25.0).unwrap();
+//! let vdd_new = new.lowest_vdd(TTARGET_S, 25.0).unwrap();
+//! let p_old = eq.total_power(&old, vdd_old, 1.0, 25.0).unwrap();
+//! let p_new = eq.total_power(&new, vdd_new, 1.0, 25.0).unwrap();
+//! assert!(p_new < p_old);
+//!
+//! // ...but at sensor-network activity factors leakage dominates and
+//! // the older node wins.
+//! let p_old = eq.total_power(&old, vdd_old, 1e-5, 25.0).unwrap();
+//! let p_new = eq.total_power(&new, vdd_new, 1e-5, 25.0).unwrap();
+//! assert!(p_old < p_new);
+//! ```
+
+/// The paper's maximum expected cycle time: 30 µs, the time a typical
+/// 802.15.4 radio takes to transmit one byte.
+pub const TTARGET_S: f64 = 30e-6;
+
+/// Number of stages in the simulated ring oscillators.
+pub const RING_STAGES: usize = 11;
+
+/// Parameters of one CMOS process node.
+#[derive(Debug, Clone)]
+pub struct TechNode {
+    /// Display name ("0.25 µm").
+    pub name: &'static str,
+    /// Drawn feature size in nanometres.
+    pub feature_nm: f64,
+    /// Nominal supply voltage.
+    pub vdd_nominal: f64,
+    /// Threshold voltage.
+    pub vth: f64,
+    /// Effective switched capacitance per gate (farads).
+    pub cap_per_gate: f64,
+    /// Subthreshold leakage per gate at 25 °C and nominal Vdd (amperes).
+    pub ioff_25c: f64,
+    /// Velocity-saturation index of the alpha-power law (≈2 for long
+    /// channels, →1 as channels shorten).
+    pub alpha_sat: f64,
+    /// Stage delay at nominal Vdd and 25 °C (seconds); calibrates the
+    /// alpha-power-law drive constant.
+    pub nominal_stage_delay: f64,
+    /// DIBL coefficient: decades of leakage per volt of Vdd change.
+    pub dibl_decades_per_volt: f64,
+}
+
+impl TechNode {
+    /// 0.6 µm (the oldest node studied).
+    pub fn n600() -> TechNode {
+        TechNode {
+            name: "0.6 um",
+            feature_nm: 600.0,
+            vdd_nominal: 5.0,
+            vth: 0.90,
+            cap_per_gate: 15e-15,
+            ioff_25c: 0.1e-12,
+            alpha_sat: 1.9,
+            nominal_stage_delay: 500e-12,
+            dibl_decades_per_volt: 0.3,
+        }
+    }
+
+    /// 0.35 µm.
+    pub fn n350() -> TechNode {
+        TechNode {
+            name: "0.35 um",
+            feature_nm: 350.0,
+            vdd_nominal: 3.3,
+            vth: 0.70,
+            cap_per_gate: 8e-15,
+            ioff_25c: 0.5e-12,
+            alpha_sat: 1.7,
+            nominal_stage_delay: 250e-12,
+            dibl_decades_per_volt: 0.4,
+        }
+    }
+
+    /// 0.25 µm (the node the paper's SRAM was laid out in).
+    pub fn n250() -> TechNode {
+        TechNode {
+            name: "0.25 um",
+            feature_nm: 250.0,
+            vdd_nominal: 2.5,
+            vth: 0.55,
+            cap_per_gate: 5e-15,
+            ioff_25c: 2e-12,
+            alpha_sat: 1.6,
+            nominal_stage_delay: 150e-12,
+            dibl_decades_per_volt: 0.5,
+        }
+    }
+
+    /// 0.18 µm.
+    pub fn n180() -> TechNode {
+        TechNode {
+            name: "0.18 um",
+            feature_nm: 180.0,
+            vdd_nominal: 1.8,
+            vth: 0.45,
+            cap_per_gate: 3e-15,
+            ioff_25c: 20e-12,
+            alpha_sat: 1.5,
+            nominal_stage_delay: 80e-12,
+            dibl_decades_per_volt: 0.6,
+        }
+    }
+
+    /// 0.13 µm (deep submicron; nominal 1.2 V like the paper's system).
+    pub fn n130() -> TechNode {
+        TechNode {
+            name: "0.13 um",
+            feature_nm: 130.0,
+            vdd_nominal: 1.2,
+            vth: 0.35,
+            cap_per_gate: 2e-15,
+            ioff_25c: 150e-12,
+            alpha_sat: 1.4,
+            nominal_stage_delay: 50e-12,
+            dibl_decades_per_volt: 0.8,
+        }
+    }
+
+    /// 90 nm (the most advanced node of the 2004 ITRS the paper cites).
+    pub fn n90() -> TechNode {
+        TechNode {
+            name: "90 nm",
+            feature_nm: 90.0,
+            vdd_nominal: 1.0,
+            vth: 0.30,
+            cap_per_gate: 1.5e-15,
+            ioff_25c: 1e-9,
+            alpha_sat: 1.35,
+            nominal_stage_delay: 35e-12,
+            dibl_decades_per_volt: 1.0,
+        }
+    }
+
+    /// All studied nodes, oldest first.
+    pub fn all() -> Vec<TechNode> {
+        vec![
+            TechNode::n600(),
+            TechNode::n350(),
+            TechNode::n250(),
+            TechNode::n180(),
+            TechNode::n130(),
+            TechNode::n90(),
+        ]
+    }
+
+    /// Lowest supply voltage the model accepts. Subthreshold operation
+    /// is allowed ("even with aggressive voltage scaling", §5.1): the
+    /// smooth on-current model below remains valid there, just very slow.
+    pub fn vdd_min(&self) -> f64 {
+        0.15
+    }
+
+    /// Effective on-current shape factor: a softplus interpolation that
+    /// follows the alpha-power law `(Vdd − Vth)^α` above threshold and
+    /// decays exponentially with slope `n·kT/q` below it — the standard
+    /// smooth bridge between the two regimes HSPICE resolves natively.
+    fn on_current_factor(&self, vdd: f64, temp_c: f64) -> f64 {
+        let n = 1.5; // subthreshold slope factor
+        let vt = 0.0259 * (temp_c + 273.15) / 298.15; // thermal voltage
+        let x = (vdd - self.vth) / (n * vt);
+        // ln(1 + e^x), overflow-safe.
+        let softplus = if x > 30.0 { x } else { x.exp().ln_1p() };
+        (n * vt * softplus).powf(self.alpha_sat)
+    }
+
+    /// Stage delay at `vdd` and `temp_c`: `t ∝ C·Vdd / Ion(Vdd)`, with a
+    /// mild mobility-degradation temperature term, calibrated to
+    /// [`nominal_stage_delay`](Self::nominal_stage_delay) at nominal Vdd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is below [`vdd_min`](Self::vdd_min).
+    pub fn stage_delay(&self, vdd: f64, temp_c: f64) -> f64 {
+        assert!(
+            vdd >= self.vdd_min(),
+            "vdd {vdd} below model validity limit {}",
+            self.vdd_min()
+        );
+        let drive = |v: f64| v / self.on_current_factor(v, 25.0);
+        let k = self.nominal_stage_delay / drive(self.vdd_nominal);
+        let temp_factor = 1.0 + 0.002 * (temp_c - 25.0);
+        // Subthreshold delay also speeds up with temperature (the
+        // thermal-voltage term); evaluate the factor at temp_c.
+        let drive_t = vdd / self.on_current_factor(vdd, temp_c);
+        let _ = drive; // calibration uses the 25 °C shape
+        k * drive_t * temp_factor
+    }
+
+    /// Leakage current per gate at `vdd` and `temp_c`: doubles every
+    /// 10 °C, with a DIBL supply dependence.
+    pub fn ioff(&self, vdd: f64, temp_c: f64) -> f64 {
+        let temp = 2f64.powf((temp_c - 25.0) / 10.0);
+        let dibl = 10f64.powf(self.dibl_decades_per_volt * (vdd - self.vdd_nominal));
+        self.ioff_25c * temp * dibl
+    }
+}
+
+/// An eleven-stage ring oscillator in a given node — the paper's test
+/// structure for both active power (transient) and leakage (feedback
+/// disabled).
+#[derive(Debug, Clone)]
+pub struct RingOscillator {
+    node: TechNode,
+    stages: usize,
+}
+
+impl RingOscillator {
+    /// The paper's eleven-stage oscillator.
+    pub fn new(node: TechNode) -> RingOscillator {
+        RingOscillator {
+            node,
+            stages: RING_STAGES,
+        }
+    }
+
+    /// The process node.
+    pub fn node(&self) -> &TechNode {
+        &self.node
+    }
+
+    /// Oscillation period at `vdd`, `temp_c`: 2 × stages × stage delay.
+    pub fn period(&self, vdd: f64, temp_c: f64) -> f64 {
+        2.0 * self.stages as f64 * self.node.stage_delay(vdd, temp_c)
+    }
+
+    /// Active (switching) power while oscillating: each stage dissipates
+    /// C·Vdd² once per period.
+    pub fn active_power(&self, vdd: f64, temp_c: f64) -> f64 {
+        self.stages as f64 * self.node.cap_per_gate * vdd * vdd / self.period(vdd, temp_c)
+    }
+
+    /// Leakage power with the feedback disabled.
+    pub fn leakage_power(&self, vdd: f64, temp_c: f64) -> f64 {
+        self.stages as f64 * self.node.ioff(vdd, temp_c) * vdd
+    }
+
+    /// The lowest grid voltage (50 mV steps from `vdd_min` to nominal)
+    /// whose period still beats `ttarget` — the paper's supply-scaling
+    /// rule. `None` if even nominal Vdd cannot meet it.
+    pub fn lowest_vdd(&self, ttarget: f64, temp_c: f64) -> Option<f64> {
+        let mut v = self.node.vdd_min();
+        while v <= self.node.vdd_nominal + 1e-9 {
+            if self.period(v, temp_c) < ttarget {
+                return Some(v);
+            }
+            v += 0.05;
+        }
+        None
+    }
+}
+
+/// Equation 1 of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct Equation1 {
+    /// Maximum expected cycle time.
+    pub ttarget: f64,
+}
+
+impl Equation1 {
+    /// Equation 1 with the given `Ttarget`.
+    pub fn new(ttarget: f64) -> Equation1 {
+        assert!(ttarget > 0.0, "Ttarget must be positive");
+        Equation1 { ttarget }
+    }
+
+    /// Total power at activity factor `activity`:
+    /// `α·(T/Ttarget)·Pactive + (1 − α·(T/Ttarget))·Pleakage`.
+    /// Returns `None` if the oscillator cannot meet `Ttarget` at `vdd`
+    /// (T > Ttarget would make the first weight exceed α's meaning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    pub fn total_power(
+        &self,
+        ring: &RingOscillator,
+        vdd: f64,
+        activity: f64,
+        temp_c: f64,
+    ) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity {activity} out of [0, 1]"
+        );
+        let t = ring.period(vdd, temp_c);
+        if t >= self.ttarget {
+            return None;
+        }
+        let w = activity * (t / self.ttarget);
+        let pa = ring.active_power(vdd, temp_c);
+        let pl = ring.leakage_power(vdd, temp_c);
+        Some(w * pa + (1.0 - w) * pl)
+    }
+}
+
+/// One row of the Figure 3 surface.
+#[derive(Debug, Clone)]
+pub struct Fig3Point {
+    /// Node name.
+    pub node: &'static str,
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Activity factor.
+    pub activity: f64,
+    /// Total power (W) per Equation 1, if timing is met.
+    pub total_power: Option<f64>,
+}
+
+/// Sweep the Figure 3 surface: every node × Vdd grid × activity grid at
+/// the given temperature.
+pub fn figure3_sweep(temp_c: f64) -> Vec<Fig3Point> {
+    let eq = Equation1::new(TTARGET_S);
+    let activities: Vec<f64> = (0..=5).map(|i| 10f64.powi(-(5 - i))).collect();
+    let mut out = Vec::new();
+    for node in TechNode::all() {
+        let ring = RingOscillator::new(node);
+        let mut vdd = ring.node().vdd_min();
+        while vdd <= ring.node().vdd_nominal + 1e-9 {
+            for &a in &activities {
+                out.push(Fig3Point {
+                    node: ring.node().name,
+                    vdd,
+                    activity: a,
+                    total_power: eq.total_power(&ring, vdd, a, temp_c),
+                });
+            }
+            vdd += 0.1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_calibrated_at_nominal() {
+        for node in TechNode::all() {
+            let d = node.stage_delay(node.vdd_nominal, 25.0);
+            assert!(
+                (d - node.nominal_stage_delay).abs() / node.nominal_stage_delay < 1e-12,
+                "{}: {d} vs {}",
+                node.name,
+                node.nominal_stage_delay
+            );
+        }
+    }
+
+    #[test]
+    fn delay_increases_as_vdd_scales_down() {
+        let n = TechNode::n250();
+        let fast = n.stage_delay(2.5, 25.0);
+        let near = n.stage_delay(0.9, 25.0);
+        let sub = n.stage_delay(0.35, 25.0); // below Vth = 0.55
+        assert!(near > 4.0 * fast, "near-threshold is much slower");
+        assert!(sub > 100.0 * near, "subthreshold is exponentially slower");
+    }
+
+    #[test]
+    fn leakage_doubles_every_ten_degrees() {
+        let n = TechNode::n180();
+        let cold = n.ioff(1.8, 25.0);
+        let hot = n.ioff(1.8, 55.0);
+        assert!((hot / cold - 8.0).abs() < 1e-9, "3 decades of 10 °C → ×8");
+    }
+
+    #[test]
+    fn dibl_reduces_leakage_at_scaled_vdd() {
+        let n = TechNode::n130();
+        assert!(n.ioff(0.8, 25.0) < n.ioff(1.2, 25.0));
+    }
+
+    #[test]
+    fn newer_nodes_leak_more() {
+        let nodes = TechNode::all();
+        for pair in nodes.windows(2) {
+            let old = RingOscillator::new(pair[0].clone());
+            let new = RingOscillator::new(pair[1].clone());
+            assert!(
+                new.leakage_power(new.node().vdd_nominal, 25.0)
+                    > old.leakage_power(old.node().vdd_nominal, 25.0),
+                "{} should leak more than {}",
+                pair[1].name,
+                pair[0].name
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_is_aggressive_but_bounded_by_vth() {
+        // 30 µs per cycle is glacial, so every node scales deep towards
+        // (or below) threshold — but older, high-Vth nodes bottom out at
+        // higher supplies than advanced ones.
+        let mut last = f64::INFINITY;
+        for node in TechNode::all() {
+            let ring = RingOscillator::new(node);
+            let vdd = ring.lowest_vdd(TTARGET_S, 25.0).expect("meets timing");
+            assert!(
+                vdd < ring.node().vdd_nominal,
+                "{}: must scale below nominal, got {vdd}",
+                ring.node().name
+            );
+            assert!(
+                vdd <= last + 1e-9,
+                "{}: newer nodes scale at least as low ({vdd} vs {last})",
+                ring.node().name
+            );
+            last = vdd;
+        }
+    }
+
+    #[test]
+    fn figure3_crossover_exists() {
+        // The paper's headline: advanced nodes win at high activity,
+        // older nodes win at sensor-network activity factors.
+        let eq = Equation1::new(TTARGET_S);
+        let old = RingOscillator::new(TechNode::n350());
+        let new = RingOscillator::new(TechNode::n90());
+        let v_old = old.lowest_vdd(TTARGET_S, 25.0).unwrap();
+        let v_new = new.lowest_vdd(TTARGET_S, 25.0).unwrap();
+        let at = |a: f64| {
+            (
+                eq.total_power(&old, v_old, a, 25.0).unwrap(),
+                eq.total_power(&new, v_new, a, 25.0).unwrap(),
+            )
+        };
+        let (old_hi, new_hi) = at(1.0);
+        assert!(new_hi < old_hi, "high activity favours the new node");
+        let (old_lo, new_lo) = at(1e-5);
+        assert!(old_lo < new_lo, "low activity favours the old node");
+    }
+
+    #[test]
+    fn equation1_weights_behave() {
+        let eq = Equation1::new(TTARGET_S);
+        let ring = RingOscillator::new(TechNode::n250());
+        let vdd = 1.0;
+        // At activity 0, total power is pure leakage.
+        let p0 = eq.total_power(&ring, vdd, 0.0, 25.0).unwrap();
+        assert!((p0 - ring.leakage_power(vdd, 25.0)).abs() < 1e-18);
+        // Power grows monotonically with activity.
+        let p1 = eq.total_power(&ring, vdd, 0.5, 25.0).unwrap();
+        let p2 = eq.total_power(&ring, vdd, 1.0, 25.0).unwrap();
+        assert!(p0 < p1 && p1 < p2);
+    }
+
+    #[test]
+    fn timing_violation_returns_none() {
+        // An absurdly tight target no oscillator meets.
+        let eq = Equation1::new(1e-15);
+        let ring = RingOscillator::new(TechNode::n90());
+        assert_eq!(eq.total_power(&ring, 1.0, 0.5, 25.0), None);
+        assert_eq!(ring.lowest_vdd(1e-15, 25.0), None);
+    }
+
+    #[test]
+    fn sweep_covers_all_nodes() {
+        let pts = figure3_sweep(25.0);
+        assert!(pts.len() > 100);
+        for node in TechNode::all() {
+            assert!(pts.iter().any(|p| p.node == node.name));
+        }
+        // Every point that met timing has positive power.
+        for p in &pts {
+            if let Some(w) = p.total_power {
+                assert!(w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_makes_old_nodes_relatively_better() {
+        // At 85 °C leakage grows 64×: the crossover moves towards even
+        // higher activity factors, strengthening the old-node argument.
+        let eq = Equation1::new(TTARGET_S);
+        let new = RingOscillator::new(TechNode::n90());
+        let v = new.lowest_vdd(TTARGET_S, 85.0).unwrap();
+        let cold = eq.total_power(&new, v, 1e-3, 25.0).unwrap();
+        let hot = eq.total_power(&new, v, 1e-3, 85.0).unwrap();
+        assert!(hot > 10.0 * cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "below model validity")]
+    fn absurdly_low_vdd_rejected() {
+        let n = TechNode::n250();
+        let _ = n.stage_delay(0.05, 25.0);
+    }
+}

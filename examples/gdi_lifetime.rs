@@ -1,0 +1,72 @@
+//! The Great Duck Island workload (paper §3): sample every sensor every
+//! 70 seconds, transmit one packet — duty cycle ~10⁻⁴. This example runs
+//! a full simulated *week* (cycle-accurate, made tractable by the
+//! idle-skip engine) and turns the measured average power into the
+//! deployment-lifetime numbers that motivated the paper.
+//!
+//! ```sh
+//! cargo run --release --example gdi_lifetime
+//! ```
+
+use ulp_node::apps::harvest::battery_lifetime;
+use ulp_node::apps::ulp::{monitoring, AppStage, MonitoringConfig, SamplePeriod};
+use ulp_node::core_arch::slaves::RandomWalkSensor;
+use ulp_node::core_arch::SystemConfig;
+use ulp_node::mica::power::{Mica2Power, SleepMode};
+use ulp_node::sim::{Cycles, Engine, Voltage};
+
+fn main() {
+    // 70 s = 7 000 000 cycles at 100 kHz: timer 0 ticks 10 000 cycles,
+    // chained timer 1 counts 700 of them.
+    let program = monitoring(&MonitoringConfig {
+        stage: AppStage::SampleSend,
+        period: SamplePeriod::Chained {
+            base: 10_000,
+            count: 700,
+        },
+        samples_per_packet: 1,
+        threshold: 0,
+    });
+    let config = SystemConfig {
+        collect_outbox: false, // a week of packets need not be kept
+        ..SystemConfig::default()
+    };
+    let system = program.build_system(config, Box::new(RandomWalkSensor::new(120, 7)));
+    let mut engine = Engine::new(system);
+
+    const WEEK_CYCLES: u64 = 7 * 86_400 * 100_000;
+    println!("Simulating one week at the GDI cadence (one sample per 70 s)...");
+    let stats = engine.run_for(Cycles(WEEK_CYCLES));
+    let system = engine.machine();
+    assert!(system.fault().is_none(), "fault: {:?}", system.fault());
+
+    let sent = system.slaves().radio.stats().transmitted;
+    println!(
+        "  {} packets in 7 simulated days ({} stepped / {} skipped cycles).",
+        sent, stats.stepped.0, stats.skipped.0
+    );
+
+    let avg = system.average_power();
+    println!("  Average power: {avg}");
+
+    // Lifetime on two AA cells (2850 mAh at 3 V), vs the Mica2 doing the
+    // same job (its utilization normalised per §6.3).
+    let aa = 2850.0;
+    let v = Voltage::from_volts(3.0);
+    let ours = battery_lifetime(aa, v, avg);
+    let mica = Mica2Power::table1();
+    let mica_avg = mica.cpu_average(1e-4 * 6.0, SleepMode::PowerSave);
+    let theirs = battery_lifetime(aa, v, mica_avg);
+    let years = |s: ulp_node::sim::Seconds| s.0 / (365.25 * 86_400.0);
+    println!("\nLifetime on two AA cells (2850 mAh, 3 V):");
+    println!("  this system:        {:8.1} years   ({avg})", years(ours));
+    println!(
+        "  Mica2 (power-save): {:8.2} years   ({mica_avg})",
+        years(theirs)
+    );
+    println!(
+        "\nThe paper's goal — 'continuous sensing for years to decades \
+         without being touched' —\nis reachable at {avg}; the commodity \
+         platform's sleep floor alone forbids it."
+    );
+}

@@ -1,0 +1,102 @@
+//! Untethered operation: the paper's "holy grail" (§1) — a node that
+//! runs indefinitely off scavenged energy. We measure the monitoring
+//! application's real average power in simulation, then feed it to the
+//! §2 harvesting models (a ~100 µW vibration harvester and a small solar
+//! panel with day/night cycles) to check sustainability, and contrast
+//! with a Mica2-class load.
+//!
+//! ```sh
+//! cargo run --example untethered
+//! ```
+
+use ulp_node::apps::harvest::{
+    simulate_untethered, Combined, SolarPanel, Storage, VibrationHarvester,
+};
+use ulp_node::apps::ulp::{monitoring, AppStage, MonitoringConfig, SamplePeriod};
+use ulp_node::core_arch::slaves::RandomWalkSensor;
+use ulp_node::core_arch::SystemConfig;
+use ulp_node::mica::power::{Mica2Power, SleepMode};
+use ulp_node::sim::{Cycles, Energy, Engine, Power, Seconds};
+
+const DAY: f64 = 86_400.0;
+
+fn main() {
+    // Volcano-class monitoring: 10 samples/s, filtered, batched.
+    let program = monitoring(&MonitoringConfig {
+        stage: AppStage::Filtered,
+        period: SamplePeriod::Cycles(10_000),
+        samples_per_packet: 1,
+        threshold: 50,
+    });
+    let system = program.build_system(
+        SystemConfig::default(),
+        Box::new(RandomWalkSensor::new(128, 99)),
+    );
+    let mut engine = Engine::new(system);
+    engine.run_for(Cycles(6_000_000)); // one simulated minute
+    let system = engine.machine();
+    assert!(system.fault().is_none());
+    let load = system.average_power();
+    println!(
+        "Measured node load at 10 samples/s (filtered): {load}  \
+         ({} packets/min)",
+        system.slaves().radio.stats().transmitted
+    );
+
+    // Vibration only (the paper's ~100 µW mote-scale figure).
+    let vibration = VibrationHarvester {
+        average: Power::from_uw(100.0),
+    };
+    let store = Storage::full(Energy::from_joules(0.5)); // small supercap
+    let r = simulate_untethered(&vibration, store, load, Seconds(60.0), Seconds(DAY * 30.0));
+    println!(
+        "\n30 days on a 100 µW vibration harvester + 0.5 J supercap: \
+         uptime {:.2}%  (harvested {}, consumed {})",
+        r.uptime * 100.0,
+        r.harvested,
+        r.consumed
+    );
+
+    // Solar + vibration with night outages bridged by the store.
+    let hybrid = Combined {
+        a: SolarPanel {
+            peak: Power::from_uw(250.0),
+            day: Seconds(DAY),
+        },
+        b: VibrationHarvester {
+            average: Power::from_uw(20.0),
+        },
+    };
+    let r = simulate_untethered(
+        &hybrid,
+        Storage::full(Energy::from_joules(0.5)),
+        load,
+        Seconds(60.0),
+        Seconds(DAY * 30.0),
+    );
+    println!(
+        "30 days on solar(250 µW peak)+vibration(20 µW) + 0.5 J supercap: \
+         uptime {:.2}%  (store never below {})",
+        r.uptime * 100.0,
+        r.min_level
+    );
+
+    // The commodity comparison: a Mica2 at the same work rate.
+    let mica = Mica2Power::table1().cpu_average(0.02, SleepMode::PowerSave);
+    let r = simulate_untethered(
+        &vibration,
+        Storage::full(Energy::from_joules(0.5)),
+        mica,
+        Seconds(60.0),
+        Seconds(DAY),
+    );
+    println!(
+        "\nMica2-class load ({mica}) on the same vibration harvester: \
+         uptime {:.2}% — tethered to its battery.",
+        r.uptime * 100.0
+    );
+    println!(
+        "\nThe event-driven node runs indefinitely below the scavenging \
+         budget;\nthis is the design target the whole architecture serves."
+    );
+}

@@ -1,0 +1,83 @@
+//! The volcano-monitoring workload (paper §3): Harvard's Tungurahua
+//! deployment sampled infrasound at 100 Hz and sent four radio messages
+//! per second with the samples batched into packets — a *high* duty
+//! cycle (~0.12) for a sensor network.
+//!
+//! The message processor's auto-prepare threshold batches samples in
+//! hardware: the branch-less event processor just feeds it one sample
+//! per timer alarm. (The paper's deployment used 25 samples per packet;
+//! our 32-byte message buffers fit 21 samples behind the 802.15.4
+//! header, so we send slightly more often — documented in DESIGN.md.)
+//!
+//! ```sh
+//! cargo run --example volcano
+//! ```
+
+use ulp_node::apps::ulp::{monitoring, AppStage, MonitoringConfig, SamplePeriod};
+use ulp_node::core_arch::slaves::SineSensor;
+use ulp_node::core_arch::SystemConfig;
+use ulp_node::net::Frame;
+use ulp_node::sim::{Cycles, Engine};
+
+fn main() {
+    const SAMPLE_HZ: u64 = 100;
+    const SAMPLES_PER_PACKET: u8 = 21;
+    let period = (100_000 / SAMPLE_HZ) as u16; // 1 000 cycles
+
+    let program = monitoring(&MonitoringConfig {
+        stage: AppStage::SampleSend,
+        period: SamplePeriod::Cycles(period),
+        samples_per_packet: SAMPLES_PER_PACKET,
+        threshold: 0,
+    });
+
+    // Infrasound: a slow pressure oscillation around mid-scale.
+    let infrasound = SineSensor {
+        period: 25_000, // 4 Hz at the 100 kHz clock
+        amplitude: 90.0,
+        offset: 128.0,
+    };
+    let system = program.build_system(SystemConfig::default(), Box::new(infrasound));
+
+    let mut engine = Engine::new(system);
+    engine.run_for(Cycles(3_000_000)); // 30 s
+    let mut system = engine.into_machine();
+    assert!(system.fault().is_none(), "fault: {:?}", system.fault());
+
+    let sent = system.take_outbox();
+    println!(
+        "30 s of volcano monitoring: {} samples taken, {} packets sent \
+         ({:.2} packets/s; the deployment sent 4/s with 25-sample packets).",
+        system.slaves().sensor.conversions(),
+        sent.len(),
+        sent.len() as f64 / 30.0
+    );
+    let first = Frame::decode(&sent[0].1).expect("valid frame");
+    println!(
+        "First packet: {} samples, seq {} — e.g. {:?}...",
+        first.payload.len(),
+        first.seq,
+        &first.payload[..6]
+    );
+
+    println!("\nPower at this (high) duty cycle:");
+    let clock = system.meter().clock();
+    let ids = system.meter_ids();
+    for (name, id) in [
+        ("event processor", ids.ep),
+        ("timer", ids.timer),
+        ("message processor", ids.msgproc),
+        ("memory", ids.memory),
+    ] {
+        println!(
+            "  {:18} {}",
+            name,
+            system.meter().stats(id).average_power(clock)
+        );
+    }
+    println!("  {:18} {}", "total", system.average_power());
+    println!(
+        "\nEven at 100 samples/s the node stays well under the paper's \
+         100 µW scavenging target."
+    );
+}

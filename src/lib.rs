@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! Facade crate for the ulp-node workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can depend on a single package. See the individual
+//! crates for the real APIs:
+//!
+//! * [`sim`] — cycle-accurate simulation kernel (engine, energy metering)
+//! * [`isa`] — event-processor ISA and assembler infrastructure
+//! * [`sram`] — banked low-power SRAM model
+//! * [`mcu8`] — 8-bit AVR-subset CPU core and assembler
+//! * [`core_arch`] — the paper's event-driven system architecture
+//! * [`mica`] — Mica2/ATmega128 + TinyOS-style baseline platform
+//! * [`net`] — 802.15.4 frames, channel model, multi-node co-simulation
+//! * [`tech`] — process-technology power/performance study
+//! * [`apps`] — the paper's test applications and workloads
+
+pub use ulp_apps as apps;
+pub use ulp_core as core_arch;
+pub use ulp_isa as isa;
+pub use ulp_mcu8 as mcu8;
+pub use ulp_mica as mica;
+pub use ulp_net as net;
+pub use ulp_sim as sim;
+pub use ulp_sram as sram;
+pub use ulp_tech as tech;

@@ -1,0 +1,191 @@
+//! Cross-crate end-to-end tests: the same application stages, the same
+//! stimulus, on both platforms — behaviour must match bit-for-bit at the
+//! radio (only the cycle counts differ, which is the paper's point).
+
+use ulp_node::apps::mica as mica_apps;
+use ulp_node::apps::ulp::{monitoring, stages, AppStage, MonitoringConfig, SamplePeriod};
+use ulp_node::core_arch::slaves::ConstSensor;
+use ulp_node::core_arch::SystemConfig;
+use ulp_node::net::Frame;
+use ulp_node::sim::{Cycles, Engine};
+
+/// Both platforms produce identical 802.15.4 frames for the same sample.
+#[test]
+fn both_platforms_emit_identical_frames() {
+    // Event-driven system, one sample of value 123.
+    let prog = stages::app1(SamplePeriod::Cycles(10_000));
+    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(123)));
+    let mut engine = Engine::new(sys);
+    engine.run_for(Cycles(15_000));
+    let mut sys = engine.into_machine();
+    assert!(sys.fault().is_none());
+    let ulp_frames = sys.take_outbox();
+    assert!(!ulp_frames.is_empty());
+    let ulp_frame = Frame::decode(&ulp_frames[0].1).unwrap();
+
+    // Mica2 baseline, same sample value.
+    let app = mica_apps::app1(10);
+    let (board, _) = app.board(Box::new(|_| 123));
+    let mut engine = Engine::new(board);
+    engine.run_until_cycle(Cycles(200_000));
+    let mut board = engine.into_machine();
+    assert!(!board.halted());
+    let mica_frames = board.take_sent();
+    assert!(!mica_frames.is_empty());
+    let mica_frame = Frame::decode(&mica_frames[0].1).unwrap();
+
+    // Identical wire format modulo the configured addresses.
+    assert_eq!(ulp_frame.payload, mica_frame.payload);
+    assert_eq!(ulp_frame.frame_type, mica_frame.frame_type);
+    assert_eq!(ulp_frame.pan, mica_frame.pan);
+    assert_eq!(ulp_frame.seq, mica_frame.seq);
+}
+
+/// Both platforms forward the same foreign frame verbatim and both drop
+/// its duplicate.
+#[test]
+fn both_platforms_forward_and_dedup_identically() {
+    let foreign = Frame::data(0x22, 0x0009, 0x0000, 5, &[7, 8, 9]).unwrap();
+
+    // Event-driven system.
+    let prog = stages::app3(SamplePeriod::Cycles(60_000), 0);
+    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(1)));
+    let mut engine = Engine::new(sys);
+    engine
+        .machine_mut()
+        .schedule_rx(Cycles(1_000), foreign.encode());
+    engine
+        .machine_mut()
+        .schedule_rx(Cycles(10_000), foreign.encode());
+    engine.run_for(Cycles(40_000));
+    let mut sys = engine.into_machine();
+    assert!(sys.fault().is_none());
+    let ulp_out = sys.take_outbox();
+    assert_eq!(ulp_out.len(), 1, "one forward, duplicate dropped");
+    assert_eq!(ulp_out[0].1, foreign.encode());
+
+    // Mica2 baseline.
+    let app = mica_apps::app3(2_000, 0);
+    let (mut board, _) = app.board(Box::new(|_| 1));
+    board.schedule_rx(Cycles(30_000), foreign.encode());
+    board.schedule_rx(Cycles(200_000), foreign.encode());
+    let mut engine = Engine::new(board);
+    engine.run_until_cycle(Cycles(400_000));
+    let mut board = engine.into_machine();
+    let mica_out = board.take_sent();
+    assert_eq!(mica_out.len(), 1, "one forward, duplicate dropped");
+    assert_eq!(mica_out[0].1, foreign.encode());
+}
+
+/// Stage 4: a reconfiguration command changes the sampling cadence on
+/// the event-driven platform, and the new cadence is observable.
+#[test]
+fn reconfiguration_changes_cadence_end_to_end() {
+    let prog = stages::app4(SamplePeriod::Cycles(20_000), 0);
+    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(9)));
+    let mut engine = Engine::new(sys);
+    // Run 100 k cycles at the slow cadence: ~5 packets.
+    engine.run_for(Cycles(100_000));
+    let slow = engine.machine().slaves().radio.stats().transmitted;
+    // Command: 2 000-cycle period.
+    let cmd = Frame::command(0x22, 0x0009, 0x0001, 1, &[1, 0xD0, 0x07]).unwrap();
+    // Schedule the command mid-period so it does not collide with a
+    // transmission already on the air.
+    let now = ulp_node::sim::Simulatable::now(engine.machine());
+    engine
+        .machine_mut()
+        .schedule_rx(Cycles(now.0 + 10_000), cmd.encode());
+    engine.run_for(Cycles(100_000));
+    let sys = engine.machine();
+    assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+    let fast = sys.slaves().radio.stats().transmitted - slow;
+    assert!(
+        fast > slow * 5,
+        "cadence must jump 10x: {slow} then {fast} packets per 100 k cycles"
+    );
+    assert_eq!(sys.mcu().stats().wakeups, 1, "exactly one irregular event");
+}
+
+/// The filter stage gates traffic identically on both platforms when the
+/// signal sits below the threshold.
+#[test]
+fn threshold_blocks_traffic_on_both_platforms() {
+    let prog = monitoring(&MonitoringConfig {
+        stage: AppStage::Filtered,
+        period: SamplePeriod::Cycles(5_000),
+        samples_per_packet: 1,
+        threshold: 200,
+    });
+    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(50)));
+    let mut engine = Engine::new(sys);
+    engine.run_for(Cycles(50_000));
+    let mut sys = engine.into_machine();
+    assert!(sys.take_outbox().is_empty());
+    let evals = sys.slaves().filter.evaluations();
+    assert!((9..=10).contains(&evals), "got {evals} evaluations");
+
+    let app = mica_apps::app2(10, 200);
+    let (board, _) = app.board(Box::new(|_| 50));
+    let mut engine = Engine::new(board);
+    engine.run_until_cycle(Cycles(300_000));
+    let mut board = engine.into_machine();
+    assert!(board.take_sent().is_empty());
+    assert!(board.adc_conversions() > 2, "sampling continued regardless");
+}
+
+/// Batched packets carry the exact sample sequence the sensor produced.
+#[test]
+fn batching_preserves_sample_order() {
+    #[derive(Debug)]
+    struct Counter(u8);
+    impl ulp_node::core_arch::slaves::SensorModel for Counter {
+        fn sample(&mut self, _at: Cycles, _ch: u8) -> u8 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+    }
+    let prog = monitoring(&MonitoringConfig {
+        stage: AppStage::SampleSend,
+        period: SamplePeriod::Cycles(1_000),
+        samples_per_packet: 6,
+        threshold: 0,
+    });
+    let sys = prog.build_system(SystemConfig::default(), Box::new(Counter(0)));
+    let mut engine = Engine::new(sys);
+    engine.run_for(Cycles(14_000));
+    let mut sys = engine.into_machine();
+    let out = sys.take_outbox();
+    assert_eq!(out.len(), 2);
+    let f1 = Frame::decode(&out[0].1).unwrap();
+    let f2 = Frame::decode(&out[1].1).unwrap();
+    assert_eq!(f1.payload, vec![1, 2, 3, 4, 5, 6]);
+    assert_eq!(f2.payload, vec![7, 8, 9, 10, 11, 12]);
+}
+
+/// A long mixed workload runs fault-free with interrupts, forwards,
+/// reconfigurations, and sampling interleaved.
+#[test]
+fn mixed_workload_soak() {
+    let prog = stages::app4(SamplePeriod::Cycles(3_000), 10);
+    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(99)));
+    let mut engine = Engine::new(sys);
+    // Interleave foreign traffic and reconfigurations.
+    for i in 0..20u64 {
+        let f = Frame::data(0x22, 0x0009, 0x0000, i as u8, &[i as u8]).unwrap();
+        engine
+            .machine_mut()
+            .schedule_rx(Cycles(5_000 + i * 7_000), f.encode());
+    }
+    let cmd = Frame::command(0x22, 0x0009, 0x0001, 99, &[2, 50, 0]).unwrap();
+    engine
+        .machine_mut()
+        .schedule_rx(Cycles(90_000), cmd.encode());
+    engine.run_for(Cycles(300_000));
+    let sys = engine.machine();
+    assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+    let m = sys.slaves().msgproc.stats();
+    assert!(m.forwarded >= 15, "forwards happened: {m:?}");
+    assert_eq!(m.irregular, 1);
+    assert!(sys.slaves().radio.stats().transmitted > 50);
+    assert_eq!(sys.mcu().stats().wakeups, 1);
+}

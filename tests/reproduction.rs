@@ -1,0 +1,161 @@
+//! Reproduction guardrails: every headline claim recorded in
+//! EXPERIMENTS.md is asserted here, so a regression in any model breaks
+//! the build rather than silently un-reproducing the paper.
+
+use ulp_bench::measure::{code_sizes, measure_snap};
+use ulp_bench::measure_table4;
+use ulp_node::apps::workload::{figure6_sweep, paper_duty_grid, profile_event};
+use ulp_node::core_arch::SystemPower;
+use ulp_node::mica::msp430::Msp430Model;
+use ulp_node::mica::power::{Mica2Power, SleepMode};
+use ulp_node::sram::{BankedSram, SramConfig};
+use ulp_node::tech::{Equation1, RingOscillator, TechNode, TTARGET_S};
+
+/// Table 4: the who-wins structure of every row.
+#[test]
+fn table4_structure() {
+    let rows = measure_table4();
+    let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap();
+
+    // Regular events: the event-driven system wins by a large factor on
+    // send paths (paper: 14.9x / 12.1x; ours is smaller because the
+    // mini-TinyOS baseline is leaner than real TinyOS, but must stay
+    // comfortably above 3x).
+    assert!(by_name("w/out filter").speedup() > 3.0);
+    assert!(by_name("w/ filter").speedup() > 3.0);
+    // Message processing still wins, by a smaller factor (paper: 2.6x).
+    assert!(by_name("regular message").speedup() > 1.2);
+    // Irregular events approach parity (paper: 1.7x).
+    let irr = by_name("irregular message").speedup();
+    assert!((0.5..4.0).contains(&irr), "irregular speedup {irr}");
+    // The crossover: in-place variable updates favour the always-on
+    // general-purpose core (paper: 0.096x). This is the honest cost the
+    // paper reports for its own architecture.
+    assert!(by_name("Timer change").speedup() < 0.3);
+}
+
+/// §6.1.3: code size and SNAP ordering.
+#[test]
+fn code_size_and_snap_ordering() {
+    let (mica, ulp) = code_sizes();
+    assert!(ulp < 400, "paper: 180 B, ours {ulp} B");
+    assert!(mica > 3 * ulp, "paper: 11558 B vs 180 B");
+
+    for r in measure_snap() {
+        assert!(
+            r.ulp < r.snap,
+            "{}: ours {} vs SNAP {}",
+            r.name,
+            r.ulp,
+            r.snap
+        );
+        assert!(
+            r.snap < r.mica,
+            "{}: SNAP {} vs Mica2 {}",
+            r.name,
+            r.snap,
+            r.mica
+        );
+        // Our absolute numbers sit near the paper's (12 and 24 cycles).
+        assert!(
+            (r.ulp as f64 / r.paper_ulp as f64) < 2.0 && (r.ulp as f64 / r.paper_ulp as f64) > 0.5,
+            "{}: {} vs paper {}",
+            r.name,
+            r.ulp,
+            r.paper_ulp
+        );
+    }
+}
+
+/// Table 5 totals: ~25 µW active, ~70 nW idle.
+#[test]
+fn table5_totals() {
+    let p = SystemPower::paper();
+    let mem = BankedSram::new(SramConfig::paper());
+    let active = p.table5_total_active(mem.full_activity_power());
+    let idle = p.table5_total_idle(mem.idle_power());
+    assert!((active.uw() - 24.99).abs() < 0.05, "{active}");
+    assert!((idle.watts() - 70e-9).abs() < 5e-9, "{idle}");
+}
+
+/// Table 3: the 2 KB SRAM at 2.07 µW and the gating reduction.
+#[test]
+fn table3_sram() {
+    let mem = BankedSram::new(SramConfig::paper());
+    assert!((mem.full_activity_power().uw() - 2.07).abs() < 0.02);
+    let mut gated = BankedSram::new(SramConfig::paper());
+    for b in 0..8 {
+        gated.gate_bank(b);
+    }
+    assert!(
+        gated.idle_power() < mem.idle_power(),
+        "gating must reduce leakage"
+    );
+}
+
+/// Figure 6: the paper's three headline power claims.
+#[test]
+fn figure6_claims() {
+    let rows = figure6_sweep(&paper_duty_grid(), 1500);
+    // (1) <2 µW at duty 0.1 and below (§7).
+    for r in rows.iter().filter(|r| r.duty <= 0.1) {
+        assert!(r.total.uw() < 2.5, "duty {} total {}", r.duty, r.total);
+    }
+    // (2) Atmel roughly two orders of magnitude above at low duty.
+    let floor = rows.last().unwrap();
+    let ratio = floor.atmel.watts() / floor.total.watts();
+    assert!(ratio > 50.0, "Atmel ratio {ratio}");
+    // (3) Every operating point sits far below the 100 µW harvesting
+    // target.
+    for r in &rows {
+        assert!(r.total.uw() < 100.0, "duty {} total {}", r.duty, r.total);
+    }
+    // The paper's per-event profile (127 cycles, filter 3 of them).
+    let p = profile_event();
+    assert!((80..200).contains(&p.event_cycles));
+    assert!((2.0..8.0).contains(&p.filter_active));
+}
+
+/// Figure 3: the technology crossover at the paper's Ttarget.
+#[test]
+fn figure3_crossover() {
+    let eq = Equation1::new(TTARGET_S);
+    let best_at = |activity: f64| {
+        TechNode::all()
+            .into_iter()
+            .map(RingOscillator::new)
+            .map(|r| {
+                let vdd = r.lowest_vdd(TTARGET_S, 25.0).unwrap();
+                let p = eq.total_power(&r, vdd, activity, 25.0).unwrap();
+                (r.node().name, p)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+    };
+    let high = best_at(1.0);
+    let low = best_at(1e-5);
+    assert_ne!(high, low, "a crossover must exist");
+    // Old node wins at sensor-network activity; a deep-submicron node
+    // wins at full activity.
+    assert!(
+        low.contains("0.6") || low.contains("0.35"),
+        "low-α best: {low}"
+    );
+    assert!(
+        high.contains("0.13") || high.contains("90") || high.contains("0.18"),
+        "high-α best: {high}"
+    );
+}
+
+/// §6.3: the Atmel comparison floor and the MSP430 range.
+#[test]
+fn commodity_comparisons() {
+    let mica = Mica2Power::table1();
+    // Power-save floor 330 µW: two orders of magnitude above 2 µW.
+    let floor = mica.cpu_sleep(SleepMode::PowerSave);
+    assert!((100.0..400.0).contains(&(floor.watts() / 2e-6)));
+    // MSP430 at 10% utilization lands near the paper's 113–192 µW band.
+    let (lo, hi) = Msp430Model::datasheet().average_range(0.1);
+    assert!(lo.uw() > 90.0 && hi.uw() < 200.0, "{lo}..{hi}");
+}
