@@ -1,95 +1,128 @@
-//! Criterion benches of the simulators themselves: how many simulated
-//! cycles per wall-clock second each platform model delivers, and how
-//! much the idle-skip engine buys on low-duty-cycle workloads — the
-//! property that makes the lifetime studies (years of simulated time)
-//! tractable.
+//! Benches of the simulators themselves: how many simulated cycles per
+//! wall-clock second each platform model delivers, and how much the
+//! idle-skip engine buys on low-duty-cycle workloads — the property that
+//! makes the lifetime studies (years of simulated time) tractable.
+//!
+//! By default this runs on the in-tree `ulp_testkit::bench` harness so
+//! `cargo bench` works offline with zero external crates. Enable the
+//! non-default `criterion-bench` feature of `ulp-bench` (and restore the
+//! commented-out criterion dev-dependency in its Cargo.toml) to get full
+//! Criterion statistics instead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ulp_apps::mica as mapps;
 use ulp_apps::ulp::{stages, SamplePeriod};
 use ulp_core::slaves::ConstSensor;
 use ulp_core::SystemConfig;
 use ulp_sim::{Cycles, Engine};
 
-fn bench_ulp_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ulp_system");
-    for (name, period) in [("busy_1k", 1_000u64), ("idle_100k", 100_000u64)] {
-        let horizon = 1_000_000u64;
-        g.throughput(Throughput::Elements(horizon));
-        g.bench_with_input(BenchmarkId::new("run", name), &period, |b, &period| {
-            b.iter(|| {
-                let prog = stages::app2(SamplePeriod::Cycles(period as u16), 0);
-                let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(128)));
-                let mut engine = Engine::new(sys);
-                engine.run_for(Cycles(horizon));
-                assert!(engine.machine().fault().is_none());
-                engine.machine().busy_cycles()
-            })
-        });
-    }
-    // The same workload with fast-forward disabled: the cost idle-skip
-    // removes.
-    g.bench_function("run/idle_100k_no_skip", |b| {
-        b.iter(|| {
-            let prog = stages::app2(SamplePeriod::Cycles(50_000), 0);
-            let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(128)));
-            let mut engine = Engine::new(sys);
-            engine.set_fast_forward(false);
-            engine.run_for(Cycles(200_000));
-            engine.machine().busy_cycles()
-        })
-    });
-    g.finish();
+fn run_ulp(period: u64, horizon: u64) -> u64 {
+    let prog = stages::app2(SamplePeriod::Cycles(period as u16), 0);
+    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(128)));
+    let mut engine = Engine::new(sys);
+    engine.run_for(Cycles(horizon));
+    assert!(engine.machine().fault().is_none());
+    engine.machine().busy_cycles().0
 }
 
-fn bench_mica_board(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mica_board");
+fn run_ulp_no_skip() -> u64 {
+    let prog = stages::app2(SamplePeriod::Cycles(50_000), 0);
+    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(128)));
+    let mut engine = Engine::new(sys);
+    engine.set_fast_forward(false);
+    engine.run_for(Cycles(200_000));
+    engine.machine().busy_cycles().0
+}
+
+fn run_mica(horizon: u64) -> u64 {
     let app = mapps::app1(1);
-    let horizon = 1_000_000u64;
-    g.throughput(Throughput::Elements(horizon));
-    g.bench_function("run/sampling_every_tick", |b| {
-        b.iter(|| {
-            let (board, _) = app.board(Box::new(|_| 42));
-            let mut engine = Engine::new(board);
-            engine.run_until_cycle(Cycles(horizon));
-            assert!(!engine.machine().halted());
-            engine.machine().adc_conversions()
-        })
-    });
-    g.finish();
+    let (board, _) = app.board(Box::new(|_| 42));
+    let mut engine = Engine::new(board);
+    engine.run_until_cycle(Cycles(horizon));
+    assert!(!engine.machine().halted());
+    engine.machine().adc_conversions()
 }
 
-fn bench_lifetime_study(c: &mut Criterion) {
+fn run_lifetime_day() -> ulp_sim::Power {
     // A whole simulated day at GDI cadence (one sample per 70 s): the
     // workload the idle-skip engine exists for.
-    let mut g = c.benchmark_group("lifetime");
-    g.sample_size(10);
-    g.bench_function("one_simulated_day_gdi", |b| {
-        b.iter(|| {
-            let prog = stages::app1(SamplePeriod::Chained {
-                base: 10_000,
-                count: 700,
-            });
-            let config = SystemConfig {
-                collect_outbox: false,
-                ..SystemConfig::default()
-            };
-            let sys = prog.build_system(config, Box::new(ConstSensor(20)));
-            let mut engine = Engine::new(sys);
-            engine.run_for(Cycles(8_640_000_000)); // 86 400 s at 100 kHz
-            let sys = engine.machine();
-            assert!(sys.fault().is_none());
-            assert_eq!(sys.slaves().radio.stats().transmitted, 1234);
-            sys.average_power()
-        })
+    let prog = stages::app1(SamplePeriod::Chained {
+        base: 10_000,
+        count: 700,
     });
-    g.finish();
+    let config = SystemConfig {
+        collect_outbox: false,
+        ..SystemConfig::default()
+    };
+    let sys = prog.build_system(config, Box::new(ConstSensor(20)));
+    let mut engine = Engine::new(sys);
+    engine.run_for(Cycles(8_640_000_000)); // 86 400 s at 100 kHz
+    let sys = engine.machine();
+    assert!(sys.fault().is_none());
+    sys.average_power()
 }
 
-criterion_group!(
-    benches,
-    bench_ulp_system,
-    bench_mica_board,
-    bench_lifetime_study
-);
-criterion_main!(benches);
+#[cfg(not(feature = "criterion-bench"))]
+fn main() {
+    use ulp_testkit::bench::{Harness, Throughput};
+    let horizon = 1_000_000u64;
+    let mut h = Harness::from_args("simulator");
+    h.group("ulp_system").throughput(Throughput::Elements(horizon));
+    for (name, period) in [("busy_1k", 1_000u64), ("idle_100k", 100_000u64)] {
+        h.bench(&format!("run/{name}"), || run_ulp(period, horizon));
+    }
+    h.bench("run/idle_100k_no_skip", run_ulp_no_skip);
+    h.group("mica_board")
+        .throughput(Throughput::Elements(horizon))
+        .bench("run/sampling_every_tick", || run_mica(horizon));
+    h.group("lifetime").bench("one_simulated_day_gdi", run_lifetime_day);
+    h.finish();
+}
+
+#[cfg(feature = "criterion-bench")]
+mod with_criterion {
+    use super::*;
+    use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+
+    fn bench_ulp_system(c: &mut Criterion) {
+        let mut g = c.benchmark_group("ulp_system");
+        let horizon = 1_000_000u64;
+        for (name, period) in [("busy_1k", 1_000u64), ("idle_100k", 100_000u64)] {
+            g.throughput(Throughput::Elements(horizon));
+            g.bench_with_input(BenchmarkId::new("run", name), &period, |b, &period| {
+                b.iter(|| run_ulp(period, horizon))
+            });
+        }
+        g.bench_function("run/idle_100k_no_skip", |b| b.iter(run_ulp_no_skip));
+        g.finish();
+    }
+
+    fn bench_mica_board(c: &mut Criterion) {
+        let mut g = c.benchmark_group("mica_board");
+        let horizon = 1_000_000u64;
+        g.throughput(Throughput::Elements(horizon));
+        g.bench_function("run/sampling_every_tick", |b| b.iter(|| run_mica(horizon)));
+        g.finish();
+    }
+
+    fn bench_lifetime_study(c: &mut Criterion) {
+        let mut g = c.benchmark_group("lifetime");
+        g.sample_size(10);
+        g.bench_function("one_simulated_day_gdi", |b| b.iter(run_lifetime_day));
+        g.finish();
+    }
+
+    criterion_group!(
+        benches,
+        bench_ulp_system,
+        bench_mica_board,
+        bench_lifetime_study
+    );
+}
+
+#[cfg(feature = "criterion-bench")]
+fn main() {
+    with_criterion::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,7 +1,10 @@
-//! Criterion benches of the substrate libraries: assemblers, the frame
-//! codec, the SRAM model, and the technology sweep.
+//! Benches of the substrate libraries: assemblers, the frame codec, the
+//! SRAM model, and the technology sweep.
+//!
+//! Runs on the in-tree `ulp_testkit::bench` harness by default (offline,
+//! zero external crates); the non-default `criterion-bench` feature of
+//! `ulp-bench` swaps in Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ulp_isa::asm::Assembler;
 use ulp_isa::ep::{decode_isr, encode_program, ComponentId, EpIsa, Instruction as I};
 use ulp_mica::runtime::RuntimeBuilder;
@@ -9,36 +12,26 @@ use ulp_net::{crc16, Frame};
 use ulp_sim::Cycles;
 use ulp_sram::{BankedSram, SramConfig};
 
-fn bench_assemblers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("assembler");
-    let runtime = RuntimeBuilder::new(1)
+fn runtime_builder() -> RuntimeBuilder {
+    RuntimeBuilder::new(1)
         .handles_rx(true)
-        .app_code("app_rx_irregular:\n    ret\n");
-    let src = runtime.source();
-    g.throughput(Throughput::Bytes(src.len() as u64));
-    g.bench_function("avr_runtime", |b| {
-        b.iter(|| runtime.build().expect("assembles"))
-    });
-
-    let ep_src = r#"
-        .equ SENSOR, 0x1401
-        .org 0x0100
-    isr:
-        switchon 4
-        read SENSOR
-        switchoff 4
-        transfer 0x1280, 0x1340, 32
-        writei 0x1300, 1
-        terminate
-    "#;
-    g.bench_function("ep_isr", |b| {
-        b.iter(|| Assembler::new(EpIsa).assemble(ep_src).expect("assembles"))
-    });
-    g.finish();
+        .app_code("app_rx_irregular:\n    ret\n")
 }
 
-fn bench_ep_codec(c: &mut Criterion) {
-    let program = [
+const EP_SRC: &str = r#"
+    .equ SENSOR, 0x1401
+    .org 0x0100
+isr:
+    switchon 4
+    read SENSOR
+    switchoff 4
+    transfer 0x1280, 0x1340, 32
+    writei 0x1300, 1
+    terminate
+"#;
+
+fn ep_program() -> [I; 6] {
+    [
         I::SwitchOn(ComponentId::new(4).unwrap()),
         I::Read(0x1401),
         I::SwitchOff(ComponentId::new(4).unwrap()),
@@ -52,55 +45,130 @@ fn bench_ep_codec(c: &mut Criterion) {
             value: 1,
         },
         I::Terminate,
-    ];
-    let bytes = encode_program(&program);
-    let mut g = c.benchmark_group("ep_codec");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| encode_program(&program)));
-    g.bench_function("decode", |b| b.iter(|| decode_isr(&bytes).unwrap()));
-    g.finish();
+    ]
 }
 
-fn bench_frames(c: &mut Criterion) {
+#[cfg(not(feature = "criterion-bench"))]
+fn main() {
+    use ulp_testkit::bench::{Harness, Throughput};
+    let mut h = Harness::from_args("substrates");
+
+    let runtime = runtime_builder();
+    let src_len = runtime.source().len() as u64;
+    h.group("assembler")
+        .throughput(Throughput::Bytes(src_len))
+        .bench("avr_runtime", || runtime.build().expect("assembles"))
+        .bench("ep_isr", || {
+            Assembler::new(EpIsa).assemble(EP_SRC).expect("assembles")
+        });
+
+    let program = ep_program();
+    let bytes = encode_program(&program);
+    h.group("ep_codec")
+        .throughput(Throughput::Bytes(bytes.len() as u64))
+        .bench("encode", || encode_program(&program))
+        .bench("decode", || decode_isr(&bytes).unwrap());
+
     let payload = [0xA5u8; 21];
     let frame = Frame::data(0x22, 1, 0, 7, &payload).unwrap();
-    let bytes = frame.encode();
-    let mut g = c.benchmark_group("frame_codec");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| frame.encode()));
-    g.bench_function("decode", |b| b.iter(|| Frame::decode(&bytes).unwrap()));
-    g.bench_function("crc16_32B", |b| b.iter(|| crc16(&bytes)));
-    g.finish();
-}
+    let fbytes = frame.encode();
+    h.group("frame_codec")
+        .throughput(Throughput::Bytes(fbytes.len() as u64))
+        .bench("encode", || frame.encode())
+        .bench("decode", || Frame::decode(&fbytes).unwrap())
+        .bench("crc16_32B", || crc16(&fbytes));
 
-fn bench_sram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sram");
-    g.throughput(Throughput::Elements(2048));
-    g.bench_function("sweep_read_tick", |b| {
-        let mut mem = BankedSram::new(SramConfig::paper());
-        b.iter(|| {
+    let mut mem = BankedSram::new(SramConfig::paper());
+    h.group("sram")
+        .throughput(Throughput::Elements(2048))
+        .bench("sweep_read_tick", || {
             for a in 0..2048u16 {
                 let _ = mem.read(a).unwrap();
             }
             mem.tick(Cycles(2048));
             mem.energy()
-        })
-    });
-    g.finish();
+        });
+
+    h.group("tech").bench("figure3_sweep", || ulp_tech::figure3_sweep(25.0));
+    h.finish();
 }
 
-fn bench_tech_sweep(c: &mut Criterion) {
-    c.bench_function("tech/figure3_sweep", |b| {
-        b.iter(|| ulp_tech::figure3_sweep(25.0))
-    });
+#[cfg(feature = "criterion-bench")]
+mod with_criterion {
+    use super::*;
+    use criterion::{criterion_group, Criterion, Throughput};
+
+    fn bench_assemblers(c: &mut Criterion) {
+        let mut g = c.benchmark_group("assembler");
+        let runtime = runtime_builder();
+        g.throughput(Throughput::Bytes(runtime.source().len() as u64));
+        g.bench_function("avr_runtime", |b| {
+            b.iter(|| runtime.build().expect("assembles"))
+        });
+        g.bench_function("ep_isr", |b| {
+            b.iter(|| Assembler::new(EpIsa).assemble(EP_SRC).expect("assembles"))
+        });
+        g.finish();
+    }
+
+    fn bench_ep_codec(c: &mut Criterion) {
+        let program = ep_program();
+        let bytes = encode_program(&program);
+        let mut g = c.benchmark_group("ep_codec");
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function("encode", |b| b.iter(|| encode_program(&program)));
+        g.bench_function("decode", |b| b.iter(|| decode_isr(&bytes).unwrap()));
+        g.finish();
+    }
+
+    fn bench_frames(c: &mut Criterion) {
+        let payload = [0xA5u8; 21];
+        let frame = Frame::data(0x22, 1, 0, 7, &payload).unwrap();
+        let bytes = frame.encode();
+        let mut g = c.benchmark_group("frame_codec");
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function("encode", |b| b.iter(|| frame.encode()));
+        g.bench_function("decode", |b| b.iter(|| Frame::decode(&bytes).unwrap()));
+        g.bench_function("crc16_32B", |b| b.iter(|| crc16(&bytes)));
+        g.finish();
+    }
+
+    fn bench_sram(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sram");
+        g.throughput(Throughput::Elements(2048));
+        g.bench_function("sweep_read_tick", |b| {
+            let mut mem = BankedSram::new(SramConfig::paper());
+            b.iter(|| {
+                for a in 0..2048u16 {
+                    let _ = mem.read(a).unwrap();
+                }
+                mem.tick(Cycles(2048));
+                mem.energy()
+            })
+        });
+        g.finish();
+    }
+
+    fn bench_tech_sweep(c: &mut Criterion) {
+        c.bench_function("tech/figure3_sweep", |b| {
+            b.iter(|| ulp_tech::figure3_sweep(25.0))
+        });
+    }
+
+    criterion_group!(
+        benches,
+        bench_assemblers,
+        bench_ep_codec,
+        bench_frames,
+        bench_sram,
+        bench_tech_sweep
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_assemblers,
-    bench_ep_codec,
-    bench_frames,
-    bench_sram,
-    bench_tech_sweep
-);
-criterion_main!(benches);
+#[cfg(feature = "criterion-bench")]
+fn main() {
+    with_criterion::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

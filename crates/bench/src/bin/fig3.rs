@@ -1,100 +1,13 @@
 //! Regenerate Figure 3: total power (Equation 1) across supply voltage
 //! and activity factor for every process node, at the scaled supply the
 //! paper's rule selects. Prints one series per node plus the summary
-//! crossover analysis.
-
-use ulp_bench::TableWriter;
-use ulp_tech::{Equation1, RingOscillator, TechNode, TTARGET_S};
-
-fn fmt_power(w: f64) -> String {
-    if w >= 1e-6 {
-        format!("{:8.3} uW", w * 1e6)
-    } else if w >= 1e-9 {
-        format!("{:8.3} nW", w * 1e9)
-    } else {
-        format!("{:8.3} pW", w * 1e12)
-    }
-}
+//! crossover analysis. The text is built by `ulp_bench::report` and
+//! pinned by `tests/golden.rs`; pass `--csv` for the plot-ready series.
 
 fn main() {
     if std::env::args().any(|a| a == "--csv") {
-        println!("node,vdd,activity,total_power_w");
-        for p in ulp_tech::figure3_sweep(25.0) {
-            if let Some(w) = p.total_power {
-                println!("{},{:.2},{:e},{:e}", p.node, p.vdd, p.activity, w);
-            }
-        }
-        return;
+        print!("{}", ulp_bench::report::fig3_csv());
+    } else {
+        print!("{}", ulp_bench::report::fig3_report());
     }
-    let temp = 25.0;
-    let eq = Equation1::new(TTARGET_S);
-    let activities = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
-
-    println!(
-        "Figure 3: Equation 1 total power vs activity factor per process \
-         node\n(Ttarget = 30 us, T = {temp} C, Vdd scaled to the lowest \
-         value meeting Ttarget)\n"
-    );
-    let mut headers: Vec<String> = vec!["Node".into(), "Vdd".into(), "T_osc".into()];
-    headers.extend(activities.iter().map(|a| format!("a={a:.0e}")));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = TableWriter::new(&headers_ref);
-
-    for node in TechNode::all() {
-        let ring = RingOscillator::new(node);
-        let vdd = ring
-            .lowest_vdd(TTARGET_S, temp)
-            .expect("all nodes meet 30 us");
-        let period = ring.period(vdd, temp);
-        let mut cells = vec![
-            ring.node().name.to_string(),
-            format!("{vdd:.2} V"),
-            format!("{:.2} us", period * 1e6),
-        ];
-        for &a in &activities {
-            let p = eq
-                .total_power(&ring, vdd, a, temp)
-                .expect("timing met at chosen vdd");
-            cells.push(fmt_power(p));
-        }
-        t.row(&cells);
-    }
-    t.print();
-
-    // Crossover summary: the paper's headline claim.
-    println!();
-    for &a in &[1.0, 1e-5] {
-        let mut best: Option<(&'static str, f64)> = None;
-        for node in TechNode::all() {
-            let ring = RingOscillator::new(node);
-            let vdd = ring.lowest_vdd(TTARGET_S, temp).unwrap();
-            let p = eq.total_power(&ring, vdd, a, temp).unwrap();
-            if best.is_none_or(|(_, bp)| p < bp) {
-                best = Some((ring.node().name, p));
-            }
-        }
-        let (name, p) = best.unwrap();
-        println!(
-            "Best node at activity {a:>7.0e}: {name:8} ({})",
-            fmt_power(p).trim()
-        );
-    }
-    println!(
-        "\nPaper's conclusion reproduced: advanced deep-submicron nodes win \
-         at high activity,\nolder high-Vth nodes win at the low activity \
-         factors of sensor-network workloads."
-    );
-
-    // Temperature sensitivity (the paper swept temperature in HSPICE).
-    println!("\nLeakage temperature sensitivity (90 nm node, scaled Vdd):");
-    let ring = RingOscillator::new(TechNode::n90());
-    let vdd = ring.lowest_vdd(TTARGET_S, 25.0).unwrap();
-    let mut tt = TableWriter::new(&["Temp (C)", "Leakage power"]);
-    for temp in [0.0, 25.0, 55.0, 85.0] {
-        tt.row(&[
-            format!("{temp}"),
-            fmt_power(ring.leakage_power(vdd, temp)).trim().to_string(),
-        ]);
-    }
-    tt.print();
 }

@@ -1,83 +1,8 @@
 //! Regenerate Figure 5: the monitoring application's event-processor
 //! ISR listing, disassembled from the actual installed program bytes
-//! (so the listing cannot drift from what the simulator executes).
-
-use ulp_apps::ulp::{stages, SamplePeriod};
-use ulp_core::map::Irq;
-use ulp_core::slaves::ConstSensor;
-use ulp_core::SystemConfig;
-use ulp_isa::ep::decode_isr;
-use ulp_mcu8::disassemble;
+//! (so the listing cannot drift from what the simulator executes). The
+//! text is built by `ulp_bench::report` and pinned by `tests/golden.rs`.
 
 fn main() {
-    println!("Figure 5: monitoring-application ISRs (disassembled from memory)\n");
-    let prog = stages::app1(SamplePeriod::Cycles(1000));
-    let sys = prog.build_system(SystemConfig::default(), Box::new(ConstSensor(0)));
-
-    let chains = [
-        (
-            Irq::Timer0.id(),
-            "Timer interrupt  -> collect sensor data, hand to message processor",
-        ),
-        (
-            Irq::MsgReady.id(),
-            "Message prepared -> move frame to the radio, transmit",
-        ),
-        (
-            Irq::RadioTxDone.id(),
-            "Send complete    -> power the radio down",
-        ),
-    ];
-    for (irq, title) in chains {
-        // Read the vector, then disassemble the ISR from memory.
-        let mem = &sys.slaves().mem;
-        let lo = mem
-            .peek(ulp_core::map::EP_VECTORS + irq as u16 * 2)
-            .unwrap();
-        let hi = mem
-            .peek(ulp_core::map::EP_VECTORS + irq as u16 * 2 + 1)
-            .unwrap();
-        let isr_addr = u16::from_le_bytes([lo, hi]);
-        let mut bytes = Vec::new();
-        for i in 0..64u16 {
-            bytes.push(mem.peek(isr_addr + i).unwrap_or(0));
-        }
-        let isr = decode_isr(&bytes).expect("installed ISR decodes");
-        println!("; {title}");
-        println!("; irq {irq} -> ISR at 0x{isr_addr:04X}");
-        for insn in &isr {
-            println!("    {insn}");
-        }
-        println!();
-    }
-    println!(
-        "(Figure 5 of the paper shows the same SWITCHON/READ/SWITCHOFF/\n\
-         SWITCHON/WRITE/WRITEI/TERMINATE chain with addresses omitted.)"
-    );
-
-    // Stage 4 adds the irregular path: show the microcontroller handler
-    // too, disassembled from main memory with the AVR disassembler.
-    let prog4 = stages::app4(SamplePeriod::Cycles(1000), 0);
-    let sys4 = prog4.build_system(SystemConfig::default(), Box::new(ConstSensor(0)));
-    let mem = &sys4.slaves().mem;
-    let lo = mem.peek(ulp_core::map::MCU_VECTORS).unwrap();
-    let hi = mem.peek(ulp_core::map::MCU_VECTORS + 1).unwrap();
-    let handler = u16::from_le_bytes([lo, hi]);
-    let mut words = Vec::new();
-    for i in 0..48u16 {
-        let a = handler + i * 2;
-        words.push(u16::from_le_bytes([
-            mem.peek(a).unwrap_or(0),
-            mem.peek(a + 1).unwrap_or(0),
-        ]));
-    }
-    println!("\n; Stage-4 irregular-event handler (microcontroller, AVR)");
-    println!("; µC vector 0 -> handler at 0x{handler:04X}");
-    for line in disassemble(&words, handler as u32) {
-        println!("    {line}");
-        // Stop at the trailing self-loop that awaits the gate-off.
-        if matches!(line.insn, ulp_mcu8::Insn::Rjmp { k: -1 }) {
-            break;
-        }
-    }
+    print!("{}", ulp_bench::report::fig5_report());
 }

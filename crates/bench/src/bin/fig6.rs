@@ -1,54 +1,22 @@
 //! Regenerate Figure 6: estimated power vs node duty cycle for the
 //! sample-filter-transmit application, with the Atmel and MSP430
 //! comparison curves of §6.3 and full-simulation cross-validation at
-//! sustainable operating points.
+//! sustainable operating points. The analytic sweep text is built by
+//! `ulp_bench::report` and pinned by `tests/golden.rs`; the simulation
+//! cross-validation is appended here (too slow to golden-test).
 
-use ulp_apps::workload::{figure6_sweep, paper_duty_grid, profile_event, simulate_duty};
+use ulp_apps::workload::{figure6_sweep, simulate_duty};
 use ulp_bench::TableWriter;
-
-fn uw(p: ulp_sim::Power) -> String {
-    format!("{:9.3}", p.uw())
-}
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
-    let profile = profile_event();
     if csv {
         // Machine-readable series for plotting (gnuplot/matplotlib).
-        let atmel_cycles = 1532; // the paper's Table 4 row; exact probe
-                                 // calibration matters little at log scale
-        println!(
-            "duty,events_per_s,ep_uw,timer_uw,msgproc_uw,filter_uw,mem_uw,total_uw,atmel_uw,msp430_lo_uw,msp430_hi_uw"
-        );
-        for r in figure6_sweep(&paper_duty_grid(), atmel_cycles) {
-            println!(
-                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.2},{:.2}",
-                r.duty,
-                r.events_per_second,
-                r.ep.uw(),
-                r.timer.uw(),
-                r.msgproc.uw(),
-                r.filter.uw(),
-                r.memory.uw(),
-                r.total.uw(),
-                r.atmel.uw(),
-                r.msp430.0.uw(),
-                r.msp430.1.uw()
-            );
-        }
+        // The paper's Table 4 filtered-send row calibrates the Atmel
+        // curve; exact probe calibration matters little at log scale.
+        print!("{}", ulp_bench::report::fig6_csv(1532));
         return;
     }
-    println!("Figure 6: estimated power vs node duty cycle (sample-filter-transmit)\n");
-    println!(
-        "Measured event profile: {} busy cycles/sample (paper: 127); \
-         filter {:.0} cycles (paper: 3); message processor {:.0} cycles \
-         (paper: 70, with 32-byte transfers); max rate {:.0} samples/s \
-         (paper: ~800).\n",
-        profile.event_cycles,
-        profile.filter_active,
-        profile.msg_active,
-        100_000.0 / profile.event_cycles as f64
-    );
 
     // The Table 4 Mica2 filtered send path calibrates the Atmel curve.
     let atmel_cycles = ulp_bench::measure_table4()
@@ -56,50 +24,7 @@ fn main() {
         .find(|r| r.name.contains("w/ filter"))
         .map(|r| r.mica)
         .expect("table 4 has the filtered row");
-
-    let rows = figure6_sweep(&paper_duty_grid(), atmel_cycles);
-    let mut t = TableWriter::new(&[
-        "Duty",
-        "Samples/s",
-        "EP (uW)",
-        "Timer (uW)",
-        "Msg (uW)",
-        "Filter (uW)",
-        "Mem (uW)",
-        "Total (uW)",
-        "Atmel (uW)",
-        "MSP430 (uW)",
-    ]);
-    for r in &rows {
-        t.row(&[
-            format!("{:.4}", r.duty),
-            format!("{:8.2}", r.events_per_second),
-            uw(r.ep),
-            uw(r.timer),
-            uw(r.msgproc),
-            uw(r.filter),
-            uw(r.memory),
-            uw(r.total),
-            uw(r.atmel),
-            format!("{:.1}-{:.1}", r.msp430.0.uw(), r.msp430.1.uw()),
-        ]);
-    }
-    t.print();
-
-    println!();
-    let low = rows.iter().find(|r| r.duty <= 0.1).unwrap();
-    println!(
-        "At duty {} the system draws {} — the paper's '<2 uW below duty \
-         0.1' claim (§7).",
-        low.duty, low.total
-    );
-    let floor = rows.last().unwrap();
-    println!(
-        "At duty {} (GDI-class) the Atmel draws {:.0}x more than this \
-         system (paper: 'a little over two orders of magnitude').",
-        floor.duty,
-        floor.atmel.watts() / floor.total.watts()
-    );
+    print!("{}", ulp_bench::report::fig6_report(atmel_cycles));
 
     println!("\nFull-simulation cross-validation (cycle-accurate, fast-forwarded):");
     let mut v = TableWriter::new(&["Duty", "Analytic total", "Simulated total"]);

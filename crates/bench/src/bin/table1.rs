@@ -2,40 +2,9 @@
 //!
 //! These are measured inputs in the paper (from the PowerTOSSIM study);
 //! we print the model constants the rest of the reproduction consumes,
-//! alongside the derived powers used in the comparisons.
-
-use ulp_bench::TableWriter;
-use ulp_mica::power::{Mica2Power, SleepMode};
+//! alongside the derived powers used in the comparisons. The text is
+//! built by `ulp_bench::report` and pinned by `tests/golden.rs`.
 
 fn main() {
-    let p = Mica2Power::table1();
-    println!("Table 1: Mica2 platform current draw (3 V supply)\n");
-    let mut t = TableWriter::new(&["Device/Mode", "Current (mA)", "Power"]);
-    let rows: &[(&str, f64)] = &[
-        ("CPU Active", p.cpu_active_ma),
-        ("CPU Idle", p.cpu_idle_ma),
-        ("ADC Acquire", p.adc_acquire_ma),
-        ("Extended Standby", p.extended_standby_ma),
-        ("Standby", p.standby_ma),
-        ("Power-save", p.power_save_ma),
-        ("Power-down", p.power_down_ma),
-        ("Radio Rx", p.radio_rx_ma),
-        ("Radio Tx (-20 dBm)", p.radio_tx_m20dbm_ma),
-        ("Radio Tx (-8 dBm)", p.radio_tx_m8dbm_ma),
-        ("Radio Tx (0 dBm)", p.radio_tx_0dbm_ma),
-        ("Radio Tx (10 dBm)", p.radio_tx_10dbm_ma),
-        ("Sensors (typical board)", p.sensors_ma),
-    ];
-    for (name, ma) in rows {
-        let w = ulp_sim::Power::from_current(*ma, p.supply);
-        t.row(&[name.to_string(), format!("{ma:.3}"), w.to_string()]);
-    }
-    t.print();
-    println!();
-    println!(
-        "Derived: CPU active {}, power-save floor {} — the commodity \
-         baseline the paper's ~2 µW system is compared against.",
-        p.cpu_active(),
-        p.cpu_sleep(SleepMode::PowerSave)
-    );
+    print!("{}", ulp_bench::report::table1_report());
 }

@@ -1,58 +1,8 @@
 //! Regenerate Table 2: the event-processor instruction set, with sizes
 //! taken from the live encoder (so the table cannot drift from the
-//! implementation).
-
-use ulp_bench::TableWriter;
-use ulp_isa::ep::Opcode;
+//! implementation). The text is built by `ulp_bench::report` and pinned
+//! by `tests/golden.rs`.
 
 fn main() {
-    println!("Table 2: Event Processor Instruction Set\n");
-    let mut t = TableWriter::new(&["Instruction", "Size", "Description"]);
-    let rows: &[(Opcode, &str)] = &[
-        (
-            Opcode::SwitchOn,
-            "Turn on a component and wait for its ready handshake",
-        ),
-        (Opcode::SwitchOff, "Turn off a component"),
-        (
-            Opcode::Read,
-            "Read a location in the address space into the register",
-        ),
-        (
-            Opcode::Write,
-            "Write the register to a location in the address space",
-        ),
-        (
-            Opcode::WriteI,
-            "Write an immediate value to a location in the address space",
-        ),
-        (
-            Opcode::Transfer,
-            "Transfer a block of data within the address space",
-        ),
-        (
-            Opcode::Terminate,
-            "Terminate the ISR without waking the microcontroller",
-        ),
-        (
-            Opcode::Wakeup,
-            "Terminate the ISR and wake the microcontroller at a vector",
-        ),
-    ];
-    for (op, desc) in rows {
-        let words = op.words();
-        let size = if words == 1 {
-            "One word".to_string()
-        } else {
-            format!("{} words", ["", "", "Two", "Three", "Four", "Five"][words])
-        };
-        t.row(&[op.mnemonic().to_uppercase(), size, desc.to_string()]);
-    }
-    t.print();
-    println!();
-    println!(
-        "Deviation: the paper lists WRITEI at three words; a 16-bit \
-         address plus an 8-bit immediate needs four (see DESIGN.md). \
-         TRANSFER carries its 1-32 byte block length in the first word."
-    );
+    print!("{}", ulp_bench::report::table2_report());
 }

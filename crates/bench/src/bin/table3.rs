@@ -1,68 +1,7 @@
 //! Regenerate Table 3: SRAM bank power, plus the §5.2 whole-array and
-//! gating numbers, measured from the live model.
-
-use ulp_bench::TableWriter;
-use ulp_sim::{Cycles, Seconds};
-use ulp_sram::{BankedSram, SramConfig};
+//! gating numbers, measured from the live model. The text is built by
+//! `ulp_bench::report` and pinned by `tests/golden.rs`.
 
 fn main() {
-    let cfg = SramConfig::paper();
-    println!(
-        "Table 3: power for a single 256 B bank and control circuitry \
-         ({} supply)\n",
-        cfg.supply
-    );
-    let mut t = TableWriter::new(&["Active Power", "Idle Power", "Gated Power"]);
-    t.row(&[
-        cfg.bank_active.to_string(),
-        cfg.bank_idle.to_string(),
-        cfg.bank_gated.to_string(),
-    ]);
-    t.print();
-
-    let mem = BankedSram::new(cfg.clone());
-    println!();
-    println!("Whole-array figures (measured from the model):");
-    println!(
-        "  2 KB array, one access per cycle at 100 kHz: {}   (paper: 2.07 µW)",
-        mem.full_activity_power()
-    );
-    println!(
-        "  2 KB array idle (all banks powered):        {}",
-        mem.idle_power()
-    );
-    let mut gated = BankedSram::new(cfg.clone());
-    for b in 1..8 {
-        gated.gate_bank(b);
-    }
-    println!(
-        "  2 KB array with 7 of 8 banks Vdd-gated:     {}",
-        gated.idle_power()
-    );
-    println!(
-        "  Bank wake-up latency: {} = {} cycle(s) at 100 kHz   (paper: 950 ns, <1 cycle)",
-        cfg.wake_latency,
-        cfg.wake_cycles().0
-    );
-
-    // Intelligent precharge (§5.2 future work): −35% active power.
-    let mut pre = SramConfig::paper();
-    pre.intelligent_precharge = true;
-    let pre_mem = BankedSram::new(pre);
-    println!(
-        "  With intelligent precharge (−35% active):   {}",
-        pre_mem.full_activity_power()
-    );
-
-    // Demonstrate energy accounting over one simulated second.
-    let mut m = BankedSram::new(cfg);
-    for i in 0..100_000u32 {
-        let _ = m.read((i % 2048) as u16);
-        m.tick(Cycles(1));
-    }
-    println!(
-        "  Measured: 1 s of continuous access consumed {} (avg {})",
-        m.energy(),
-        m.energy().average_over(Seconds(1.0))
-    );
+    print!("{}", ulp_bench::report::table3_report());
 }

@@ -1,56 +1,20 @@
 //! Regenerate Table 4: cycle counts of the test-application code
 //! segments on the Mica2 baseline vs the event-driven system, plus the
-//! §6.1.3 code-size and maximum-sample-rate figures.
+//! §6.1.3 code-size and maximum-sample-rate figures. The text is built
+//! by `ulp_bench::report` and pinned by `tests/golden.rs`.
 //!
 //! Pass `--trace` to also print the event-processor state walk for one
 //! send event (the Figure 2 behaviour).
 
 use ulp_apps::ulp::{stages, SamplePeriod};
-use ulp_bench::{measure_table4, TableWriter};
 use ulp_core::slaves::ConstSensor;
 use ulp_core::SystemConfig;
 use ulp_sim::{Cycles, Engine};
 
 fn main() {
     let trace = std::env::args().any(|a| a == "--trace");
-    println!("Table 4: cycle counts, Mica2 (TinyOS-style) vs this system\n");
-    let rows = measure_table4();
-    let mut t = TableWriter::new(&[
-        "Measurement",
-        "Mica2",
-        "Our System",
-        "Speedup",
-        "Paper (Mica2 / ours / speedup)",
-    ]);
-    for r in &rows {
-        t.row(&[
-            r.name.to_string(),
-            r.mica.to_string(),
-            r.ulp.to_string(),
-            format!("{:.2}x", r.speedup()),
-            format!(
-                "{} / {} / {:.2}x",
-                r.paper_mica,
-                r.paper_ulp,
-                r.paper_speedup()
-            ),
-        ]);
-    }
-    t.print();
-
-    let (mica_size, ulp_size) = ulp_bench::measure::code_sizes();
-    println!();
-    println!(
-        "Code size (stage-4 application): Mica2 {mica_size} B vs ours {ulp_size} B \
-         (paper: 11558 B vs 180 B; our mini-TinyOS runtime is leaner than \
-         the full TinyOS component stack, hence the smaller Mica2 numbers \
-         throughout — the ordering and crossover reproduce)."
-    );
-    let filtered = rows.iter().find(|r| r.name.contains("w/ filter")).unwrap();
-    println!(
-        "Maximum sample rate at 100 kHz: {:.0} samples/s (paper: ~800/s from 127 cycles)",
-        100_000.0 / filtered.ulp as f64
-    );
+    let rows = ulp_bench::measure_table4();
+    print!("{}", ulp_bench::report::table4_report(&rows));
 
     if trace {
         println!("\nEvent-processor state walk for one send event (Figure 2):");

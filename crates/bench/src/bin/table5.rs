@@ -1,51 +1,16 @@
 //! Regenerate Table 5: per-component active/idle power at 1.2 V /
 //! 100 kHz, plus the system totals the paper quotes (~25 µW active,
 //! ~70 nW idle), cross-checked against a live simulation of the two
-//! extreme cases.
+//! extreme cases. The table text is built by `ulp_bench::report` and
+//! pinned by `tests/golden.rs`; the live cross-checks are appended here.
 
-use ulp_bench::TableWriter;
 use ulp_core::slaves::ConstSensor;
-use ulp_core::{map, System, SystemConfig, SystemPower};
+use ulp_core::{map, System, SystemConfig};
 use ulp_isa::ep::{encode_program, Instruction as I};
 use ulp_sim::{Cycles, Engine};
-use ulp_sram::{BankedSram, SramConfig};
 
 fn main() {
-    let p = SystemPower::paper();
-    println!("Table 5: power estimates for regular-event processing (1.2 V, 100 kHz)\n");
-    let mut t = TableWriter::new(&["Component", "Active", "Idle"]);
-    let rows = [
-        ("Event Processor", p.event_processor),
-        ("Timer", p.timer),
-        ("Message Processor", p.msgproc),
-        ("Threshold Filter", p.filter),
-    ];
-    for (name, spec) in rows {
-        t.row(&[
-            name.to_string(),
-            spec.active.to_string(),
-            spec.idle.to_string(),
-        ]);
-    }
-    let mem = BankedSram::new(SramConfig::paper());
-    t.row(&[
-        "Memory".to_string(),
-        mem.full_activity_power().to_string(),
-        mem.idle_power().to_string(),
-    ]);
-    let total_active = p.table5_total_active(mem.full_activity_power());
-    let total_idle = p.table5_total_idle(mem.idle_power());
-    t.row(&[
-        "System".to_string(),
-        total_active.to_string(),
-        total_idle.to_string(),
-    ]);
-    t.print();
-    println!();
-    println!(
-        "Paper totals: 24.99 µW active / ~70 nW idle.  Ours: {} / {}.",
-        total_active, total_idle
-    );
+    print!("{}", ulp_bench::report::table5_report());
 
     // Cross-check the idle extreme with a live simulation: nothing
     // scheduled, one second of simulated time.

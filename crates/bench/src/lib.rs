@@ -18,9 +18,12 @@
 //! | `snap_compare` | blink/sense vs published SNAP numbers |
 //!
 //! The measurement functions live here so integration tests can assert
-//! on the same numbers the binaries print.
+//! on the same numbers the binaries print, and the deterministic report
+//! text lives in [`report`] so `tests/golden.rs` can pin the binaries'
+//! output byte-for-byte against checked-in golden files.
 
 pub mod measure;
+pub mod report;
 pub mod table;
 
 pub use measure::{measure_table4, SystemSide, Table4Row};

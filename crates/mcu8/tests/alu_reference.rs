@@ -1,10 +1,10 @@
 //! Differential testing of the ALU against reference semantics: every
 //! arithmetic/logic instruction executed on the core must match a
 //! straightforward wide-integer model, flags included, for all inputs
-//! proptest throws at it.
+//! the property harness throws at it.
 
-use proptest::prelude::*;
 use ulp_mcu8::{assemble, Cpu, FlatBus, SREG_C, SREG_H, SREG_N, SREG_S, SREG_V, SREG_Z};
+use ulp_testkit::{any_bool, any_u16, any_u8, prop_assert, prop_assert_eq, props};
 
 /// Execute `body` with r16 = a, r17 = b, returning (r16, SREG).
 fn exec2(body: &str, a: u8, b: u8) -> (u8, u8) {
@@ -45,9 +45,9 @@ fn ref_sub(a: u8, b: u8, cin: bool) -> (u8, bool, bool, bool, bool) {
     (r, c, h, v, n)
 }
 
-proptest! {
+props! {
     #[test]
-    fn add_matches_reference(a: u8, b: u8) {
+    fn add_matches_reference(a in any_u8(), b in any_u8()) {
         let (r, sreg) = exec2("add r16, r17", a, b);
         let (er, ec, eh, ev, en) = ref_add(a, b, false);
         prop_assert_eq!(r, er);
@@ -60,7 +60,7 @@ proptest! {
     }
 
     #[test]
-    fn adc_matches_reference(a: u8, b: u8, cin: bool) {
+    fn adc_matches_reference(a in any_u8(), b in any_u8(), cin in any_bool()) {
         let setup = if cin { "sec" } else { "clc" };
         let (r, sreg) = exec2(&format!("{setup}\nadc r16, r17"), a, b);
         let (er, ec, ..) = ref_add(a, b, cin);
@@ -69,7 +69,7 @@ proptest! {
     }
 
     #[test]
-    fn sub_and_cp_match_reference(a: u8, b: u8) {
+    fn sub_and_cp_match_reference(a in any_u8(), b in any_u8()) {
         let (r, sreg) = exec2("sub r16, r17", a, b);
         let (er, ec, eh, ev, en) = ref_sub(a, b, false);
         prop_assert_eq!(r, er);
@@ -85,7 +85,7 @@ proptest! {
     }
 
     #[test]
-    fn sbc_matches_reference(a: u8, b: u8, cin: bool) {
+    fn sbc_matches_reference(a in any_u8(), b in any_u8(), cin in any_bool()) {
         let setup = if cin { "sec" } else { "clc" };
         let (r, sreg) = exec2(&format!("{setup}\nsbc r16, r17"), a, b);
         let (er, ec, ..) = ref_sub(a, b, cin);
@@ -98,7 +98,7 @@ proptest! {
     }
 
     #[test]
-    fn subi_sbci_match_sub_sbc(a: u8, k: u8, cin: bool) {
+    fn subi_sbci_match_sub_sbc(a in any_u8(), k in any_u8(), cin in any_bool()) {
         let setup = if cin { "sec" } else { "clc" };
         let (r1, s1) = exec2(&format!("{setup}\nsbci r16, {k}"), a, 0);
         let (er, ec, ..) = ref_sub(a, k, cin);
@@ -109,7 +109,7 @@ proptest! {
     }
 
     #[test]
-    fn logic_ops_match_reference(a: u8, b: u8) {
+    fn logic_ops_match_reference(a in any_u8(), b in any_u8()) {
         for (body, expect) in [
             ("and r16, r17", a & b),
             ("or r16, r17", a | b),
@@ -129,7 +129,7 @@ proptest! {
     }
 
     #[test]
-    fn com_neg_match_reference(a: u8) {
+    fn com_neg_match_reference(a in any_u8()) {
         let (r, sreg) = exec2("com r16", a, 0);
         prop_assert_eq!(r, !a);
         prop_assert!(flag(sreg, SREG_C), "com sets C");
@@ -140,7 +140,7 @@ proptest! {
     }
 
     #[test]
-    fn inc_dec_preserve_carry(a: u8, carry: bool) {
+    fn inc_dec_preserve_carry(a in any_u8(), carry in any_bool()) {
         let setup = if carry { "sec" } else { "clc" };
         let (r, sreg) = exec2(&format!("{setup}\ninc r16"), a, 0);
         prop_assert_eq!(r, a.wrapping_add(1));
@@ -153,7 +153,7 @@ proptest! {
     }
 
     #[test]
-    fn shifts_match_reference(a: u8, cin: bool) {
+    fn shifts_match_reference(a in any_u8(), cin in any_bool()) {
         let setup = if cin { "sec" } else { "clc" };
         let (r, sreg) = exec2("lsr r16", a, 0);
         prop_assert_eq!(r, a >> 1);
@@ -171,7 +171,7 @@ proptest! {
     }
 
     #[test]
-    fn swap_and_mul_match_reference(a: u8, b: u8) {
+    fn swap_and_mul_match_reference(a in any_u8(), b in any_u8()) {
         let (r, _) = exec2("swap r16", a, 0);
         prop_assert_eq!(r, a.rotate_right(4));
         // mul leaves the 16-bit product in r1:r0.
@@ -187,7 +187,7 @@ proptest! {
     }
 
     #[test]
-    fn adiw_sbiw_match_reference(x: u16, k in 0u8..64) {
+    fn adiw_sbiw_match_reference(x in any_u16(), k in 0u8..64) {
         let src = format!(
             "ldi r26, {}\nldi r27, {}\nadiw r26, {k}\nbreak",
             x & 0xFF, x >> 8
@@ -217,7 +217,7 @@ proptest! {
     /// 16-bit compare idiom (cp/cpc) agrees with native comparison for
     /// all operand pairs — the pattern every loop in the runtime uses.
     #[test]
-    fn compare16_idiom(x: u16, y: u16) {
+    fn compare16_idiom(x in any_u16(), y in any_u16()) {
         let src = format!(
             "ldi r24, {}\nldi r25, {}\nldi r26, {}\nldi r27, {}\n\
              cp r24, r26\ncpc r25, r27\nbreak",

@@ -8,9 +8,8 @@
 //! retransmission-free, duplicate-suppressing forwarding logic of the
 //! message processor.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use ulp_testkit::Rng;
 
 /// Medium configuration.
 #[derive(Debug, Clone)]
@@ -59,7 +58,7 @@ pub struct MediumStats {
 #[derive(Debug)]
 pub struct Medium {
     config: MediumConfig,
-    rng: StdRng,
+    rng: Rng,
     queues: Vec<VecDeque<Delivery>>,
     stats: MediumStats,
 }
@@ -71,7 +70,7 @@ impl Medium {
             (0.0..=1.0).contains(&config.loss_probability),
             "loss probability must be in [0, 1]"
         );
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = Rng::from_seed(config.seed);
         Medium {
             config,
             rng,

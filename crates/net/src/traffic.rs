@@ -6,8 +6,7 @@
 //! to inject into the [`crate::Medium`] or directly into a node's radio.
 
 use crate::frame::Frame;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ulp_testkit::Rng;
 
 /// A source of timestamped frames.
 pub trait TrafficSource {
@@ -69,7 +68,7 @@ pub struct PoissonTraffic {
     now: f64,
     remaining: u64,
     seq: u8,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl PoissonTraffic {
@@ -93,7 +92,7 @@ impl PoissonTraffic {
             now: start_us as f64,
             remaining: count,
             seq,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::from_seed(seed),
         }
     }
 }
@@ -105,8 +104,7 @@ impl TrafficSource for PoissonTraffic {
         }
         self.remaining -= 1;
         // Inverse-CDF sampling of the exponential distribution.
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        self.now += -u.ln() * self.mean_interval_us;
+        self.now += self.rng.exponential(self.mean_interval_us);
         let mut f = self.template.clone();
         f.seq = self.seq;
         self.seq = self.seq.wrapping_add(1);

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full offline verification gate: exactly what CI runs.
+#
+#   scripts/verify.sh
+#
+# The workspace has zero external dependencies, so every step must pass
+# with the network disabled and an empty Cargo registry. CARGO_NET_OFFLINE
+# is exported (rather than relying on --offline alone) so any nested cargo
+# invocation inherits it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline (tier-1) =="
+cargo test -q --offline
+
+echo "== cargo test -q --workspace --offline =="
+cargo test -q --workspace --offline
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== dependency closure must be in-tree only =="
+external=$(cargo tree --workspace --edges normal,build --prefix none --offline \
+  | awk '{print $1}' | sort -u | grep -v '^ulp-' || true)
+if [ -n "$external" ]; then
+  echo "external crates crept into the default build graph:" >&2
+  echo "$external" >&2
+  exit 1
+fi
+
+echo "verify.sh: all checks passed"

@@ -1,0 +1,208 @@
+//! Same-seed determinism: every simulator in the workspace, run twice
+//! with identical seeds, must produce bit-identical observables — cycle
+//! counts, energy totals (compared as raw f64 bits), and digests of the
+//! full event traces. This is the property that makes failing-seed
+//! replay (`ULP_PROPTEST_SEED=...`) and the golden reproduction numbers
+//! meaningful at all: nothing in the stack may read wall-clock time,
+//! OS entropy, or iteration order of an unordered container.
+
+use ulp_node::apps::mica as mapps;
+use ulp_node::apps::ulp::{stages, SamplePeriod};
+use ulp_node::core_arch::slaves::RandomWalkSensor;
+use ulp_node::core_arch::{System, SystemConfig};
+use ulp_node::mica::power::Mica2Power;
+use ulp_node::net::{Frame, Medium, MediumConfig};
+use ulp_node::sim::{Cycles, Engine, Simulatable, StepOutcome};
+use ulp_testkit::Rng;
+
+/// FNV-1a over arbitrary bytes: the trace digest. In-tree, stable, and
+/// independent of `std`'s randomized `Hasher` seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest_lines<I: IntoIterator<Item = String>>(lines: I) -> u64 {
+    let mut h = 0u64;
+    for line in lines {
+        h = h.rotate_left(1) ^ fnv1a(line.as_bytes());
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// 1. The paper's stage-4 ULP application
+// ---------------------------------------------------------------------
+
+#[test]
+fn ulp_stage4_double_run_is_bit_identical() {
+    let run = |seed: u64| {
+        let prog = stages::app4(SamplePeriod::Cycles(2_000), 40);
+        let mut sys = prog.build_system(
+            SystemConfig::default(),
+            Box::new(RandomWalkSensor::new(128, seed)),
+        );
+        sys.trace_mut().set_enabled(true);
+        // Mixed traffic racing the send chains: data, a duplicate, and a
+        // reconfiguration command.
+        for (i, at) in [3_000u64, 9_500, 9_500, 41_000].iter().enumerate() {
+            let f = if i == 3 {
+                Frame::command(0x22, 0x0009, 0x0001, 9, &[2, 60, 0]).unwrap()
+            } else {
+                Frame::data(0x22, 0x0009, 0x0001, 7, &[i as u8]).unwrap()
+            };
+            sys.schedule_rx(Cycles(*at), f.encode());
+        }
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(250_000));
+        let mut sys = engine.into_machine();
+        assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+        let trace = digest_lines(sys.trace().events().iter().map(|e| e.to_string()));
+        let outbox = digest_lines(
+            sys.take_outbox()
+                .into_iter()
+                .map(|(at, b)| format!("{}:{b:02x?}", at.0)),
+        );
+        (
+            sys.now(),
+            sys.busy_cycles(),
+            sys.mcu().stats().wakeups,
+            sys.slaves().radio.stats().transmitted,
+            sys.meter().total_energy().joules().to_bits(),
+            trace,
+            outbox,
+        )
+    };
+    let a = run(0xD5);
+    let b = run(0xD5);
+    assert_eq!(a, b, "same seed must reproduce the run bit-for-bit");
+    assert!(a.3 > 0, "the workload must actually transmit");
+    assert!(a.5 != 0, "the trace must not be empty");
+}
+
+// ---------------------------------------------------------------------
+// 2. The Mica2 baseline board
+// ---------------------------------------------------------------------
+
+#[test]
+fn mica2_double_run_is_bit_identical() {
+    let run = |seed: u64| {
+        let app = mapps::app2(1, 100);
+        let mut rng = Rng::from_seed(seed);
+        let (mut board, _) = app.board(Box::new(move |_| rng.next_u64() as u8));
+        board.set_exec_trace(2_048);
+        let mut engine = Engine::new(board);
+        engine.run_until_cycle(Cycles(400_000));
+        let mut board = engine.into_machine();
+        assert!(!board.halted(), "the runtime loop must keep spinning");
+        let exec = digest_lines(
+            board
+                .exec_trace()
+                .map(|(cyc, pc)| format!("{cyc}:{pc:04x}"))
+                .collect::<Vec<_>>(),
+        );
+        let sent = digest_lines(
+            board
+                .take_sent()
+                .into_iter()
+                .map(|(at, b)| format!("{}:{b:02x?}", at.0)),
+        );
+        let modes = board.mode_cycles();
+        let energy = Mica2Power::table1()
+            .board_energy(modes, 7_372_800.0)
+            .joules()
+            .to_bits();
+        (modes, board.adc_conversions(), energy, exec, sent)
+    };
+    let a = run(0x515E);
+    let b = run(0x515E);
+    assert_eq!(a, b, "same seed must reproduce the board run bit-for-bit");
+    assert!(a.1 > 0, "the ADC must have sampled");
+}
+
+// ---------------------------------------------------------------------
+// 3. Multi-node co-simulation over the lossy medium
+// ---------------------------------------------------------------------
+
+/// A condensed version of `examples/multihop.rs`: four forwarding nodes
+/// flooding towards a listening base station through a 10%-loss medium.
+fn multihop(seed: u64, horizon: u64) -> (Vec<String>, u64, u64, u64, u64) {
+    use ulp_node::apps::ulp::{monitoring, AppStage, MonitoringConfig};
+    const SLOT_US: u64 = 10;
+    let mut medium = Medium::new(MediumConfig {
+        loss_probability: 0.1,
+        propagation_delay_us: 30,
+        seed,
+    });
+    let mut nodes: Vec<(usize, System)> = (0..4u16)
+        .map(|i| {
+            let program = monitoring(&MonitoringConfig {
+                stage: AppStage::Forwarding,
+                period: SamplePeriod::Cycles(if i == 0 { 9_000 } else { 40_000 }),
+                samples_per_packet: 1,
+                threshold: 0,
+            });
+            let config = SystemConfig {
+                address: 2 + i,
+                dest: 0x0000,
+                ..SystemConfig::default()
+            };
+            let sys = program.build_system(config, Box::new(RandomWalkSensor::new(90, seed ^ i as u64)));
+            (medium.register(), sys)
+        })
+        .collect();
+    let base = medium.register();
+    let mut heard = Vec::new();
+    for cycle in 1..=horizon {
+        let now_us = cycle * SLOT_US;
+        for (endpoint, node) in nodes.iter_mut() {
+            for d in medium.poll(*endpoint, now_us) {
+                node.schedule_rx(Cycles(cycle + 1), d.bytes);
+            }
+            if node.now() < Cycles(cycle) {
+                let outcome = node.step();
+                assert!(!matches!(outcome, StepOutcome::Halted));
+            }
+            for (at, bytes) in node.take_outbox() {
+                medium.transmit(*endpoint, at.0 * SLOT_US, &bytes);
+            }
+        }
+        for d in medium.poll(base, now_us) {
+            heard.push(format!("{}:{:02x?}", d.at_us, d.bytes));
+        }
+    }
+    let stats = medium.stats();
+    let energy_bits = nodes
+        .iter()
+        .map(|(_, n)| fnv1a(&n.meter().total_energy().joules().to_bits().to_le_bytes()))
+        .fold(0u64, |h, e| h.rotate_left(1) ^ e);
+    (heard, stats.sent, stats.delivered, stats.lost, energy_bits)
+}
+
+#[test]
+fn multihop_lossy_cosim_double_run_is_bit_identical() {
+    let a = multihop(7, 120_000);
+    let b = multihop(7, 120_000);
+    assert_eq!(a, b, "same seed must reproduce the co-simulation");
+    assert!(a.1 > 0, "nodes must transmit");
+    assert!(a.3 > 0, "a 10% channel over this horizon must lose frames");
+    assert!(!a.0.is_empty(), "the flood must reach the base station");
+}
+
+#[test]
+fn multihop_seed_actually_steers_the_channel() {
+    // Different seeds draw different loss patterns: the delivery trace
+    // must differ. (Deterministic either way — if this ever fails it
+    // fails reproducibly, meaning the channel stopped consuming seed.)
+    let a = multihop(7, 120_000);
+    let c = multihop(8, 120_000);
+    assert_ne!(
+        (a.0.clone(), a.1, a.2, a.3),
+        (c.0.clone(), c.1, c.2, c.3),
+        "seeds 7 and 8 produced identical channel behaviour"
+    );
+}

@@ -4,12 +4,12 @@
 //! same energy to within f64 accumulation noise. This is the property
 //! that makes the week-long lifetime studies trustworthy.
 
-use proptest::prelude::*;
 use ulp_node::apps::ulp::{monitoring, stages, AppStage, MonitoringConfig, SamplePeriod};
 use ulp_node::core_arch::slaves::RandomWalkSensor;
 use ulp_node::core_arch::{System, SystemConfig};
 use ulp_node::net::Frame;
 use ulp_node::sim::{Cycles, Engine, Simulatable};
+use ulp_testkit::{any_u64, props, vec_of};
 
 #[derive(Debug, PartialEq)]
 struct Observation {
@@ -58,15 +58,19 @@ fn assert_equivalent(a: Observation, b: Observation) {
     assert_eq!(a, b);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+props! {
+    // Each equivalence case simulates 200k+ cycles twice (once without
+    // idle-skip), so the default case count is trimmed like the old
+    // `ProptestConfig::with_cases(16)`; ULP_PROPTEST_CASES still
+    // overrides it.
+    #![cases(16)]
 
     /// Stage-4 nodes under randomized rx schedules: skip-equivalent.
     #[test]
     fn app4_random_traffic_equivalence(
         period in 500u16..20_000,
-        seed in any::<u64>(),
-        arrivals in proptest::collection::vec((1_000u64..180_000, 0u8..3), 0..12),
+        seed in any_u64(),
+        arrivals in vec_of((1_000u64..180_000, 0u8..3), 0..12),
     ) {
         let build = || {
             let prog = stages::app4(SamplePeriod::Cycles(period), 20);
@@ -95,7 +99,7 @@ proptest! {
         base in 1_000u16..5_000,
         count in 2u16..20,
         batch in 1u8..10,
-        seed in any::<u64>(),
+        seed in any_u64(),
     ) {
         let build = || {
             let prog = monitoring(&MonitoringConfig {

@@ -1,0 +1,114 @@
+//! Golden-output tests for the table/figure regeneration binaries.
+//!
+//! Each generator's text lives in `ulp_bench::report` (the `src/bin/`
+//! binaries print the same strings), and this suite pins it
+//! byte-for-byte against the files in `tests/golden/`. Every model
+//! behind these reports is deterministic — pure functions of the paper's
+//! constants plus cycle-accurate simulation — so any diff is a real
+//! behaviour change that must be reviewed, not noise.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```text
+//! ULP_UPDATE_GOLDEN=1 cargo test -q --test golden
+//! ```
+//!
+//! then review the diff of `tests/golden/` like any other code change.
+
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the checked-in golden file, or rewrite the
+/// file when `ULP_UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("ULP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with ULP_UPDATE_GOLDEN=1 \
+             to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Locate the first differing line for a readable failure.
+        let mut line = 1usize;
+        let (mut ea, mut aa) = ("<end of file>", "<end of file>");
+        for pair in expected.lines().zip(actual.lines()) {
+            if pair.0 != pair.1 {
+                (ea, aa) = pair;
+                break;
+            }
+            line += 1;
+        }
+        panic!(
+            "{name} drifted from tests/golden/{name} at line {line}:\n\
+             --- golden: {ea}\n\
+             +++ actual: {aa}\n\
+             If the change is intentional, regenerate with \
+             ULP_UPDATE_GOLDEN=1 cargo test -q --test golden and review \
+             the diff.",
+        );
+    }
+}
+
+#[test]
+fn table1_output_is_pinned() {
+    assert_golden("table1.txt", &ulp_bench::report::table1_report());
+}
+
+#[test]
+fn table2_output_is_pinned() {
+    assert_golden("table2.txt", &ulp_bench::report::table2_report());
+}
+
+#[test]
+fn table3_output_is_pinned() {
+    assert_golden("table3.txt", &ulp_bench::report::table3_report());
+}
+
+#[test]
+fn table4_and_fig6_outputs_are_pinned() {
+    // One measurement pass feeds both reports, exactly as `fig6` derives
+    // its Atmel calibration from the Table 4 filtered-send row.
+    let rows = ulp_bench::measure_table4();
+    assert_golden("table4.txt", &ulp_bench::report::table4_report(&rows));
+    let atmel = rows
+        .iter()
+        .find(|r| r.name.contains("w/ filter"))
+        .map(|r| r.mica)
+        .unwrap();
+    assert_golden("fig6.txt", &ulp_bench::report::fig6_report(atmel));
+}
+
+#[test]
+fn table5_output_is_pinned() {
+    assert_golden("table5.txt", &ulp_bench::report::table5_report());
+}
+
+#[test]
+fn fig3_output_is_pinned() {
+    assert_golden("fig3.txt", &ulp_bench::report::fig3_report());
+    assert_golden("fig3.csv", &ulp_bench::report::fig3_csv());
+}
+
+#[test]
+fn fig5_output_is_pinned() {
+    assert_golden("fig5.txt", &ulp_bench::report::fig5_report());
+}
+
+#[test]
+fn fig6_csv_is_pinned() {
+    // The CSV path uses the paper's fixed 1532-cycle calibration so the
+    // series is reproducible without a measurement pass.
+    assert_golden("fig6.csv", &ulp_bench::report::fig6_csv(1532));
+}

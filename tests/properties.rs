@@ -1,33 +1,38 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-based tests on the core data structures and invariants,
+//! running on the in-tree `ulp-testkit` harness (deterministic seeds,
+//! greedy shrinking, `ULP_PROPTEST_CASES`/`ULP_PROPTEST_SEED` knobs).
 
-use proptest::prelude::*;
 use ulp_node::isa::ep::{ComponentId, Instruction};
 use ulp_node::net::{crc16, Frame, FrameType};
 use ulp_node::sim::{Cycles, Energy, Frequency, Power, PowerMode, PowerSpec, Seconds};
 use ulp_node::sram::{BankedSram, SramConfig};
+use ulp_testkit::{any_bool, any_u16, any_u64, any_u8, from_fn, prop_assert, prop_assert_eq, prop_assert_ne, props, vec_of, Rng};
 
 // ---------------------------------------------------------------------
 // Event-processor ISA
 // ---------------------------------------------------------------------
 
-fn arb_ep_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (0u8..32).prop_map(|c| Instruction::SwitchOn(ComponentId::new(c).unwrap())),
-        (0u8..32).prop_map(|c| Instruction::SwitchOff(ComponentId::new(c).unwrap())),
-        any::<u16>().prop_map(Instruction::Read),
-        any::<u16>().prop_map(Instruction::Write),
-        (any::<u16>(), any::<u8>()).prop_map(|(addr, value)| Instruction::WriteI { addr, value }),
-        (any::<u16>(), any::<u16>(), 1u8..=32).prop_map(|(src, dst, len)| Instruction::Transfer {
-            src,
-            dst,
-            len
-        }),
-        Just(Instruction::Terminate),
-        any::<u8>().prop_map(Instruction::Wakeup),
-    ]
+fn arb_ep_instruction() -> impl ulp_testkit::Gen<Value = Instruction> {
+    from_fn(|rng: &mut Rng| match rng.gen_range(0u8..8) {
+        0 => Instruction::SwitchOn(ComponentId::new(rng.gen_range(0u8..32)).unwrap()),
+        1 => Instruction::SwitchOff(ComponentId::new(rng.gen_range(0u8..32)).unwrap()),
+        2 => Instruction::Read(rng.next_u64() as u16),
+        3 => Instruction::Write(rng.next_u64() as u16),
+        4 => Instruction::WriteI {
+            addr: rng.next_u64() as u16,
+            value: rng.next_u64() as u8,
+        },
+        5 => Instruction::Transfer {
+            src: rng.next_u64() as u16,
+            dst: rng.next_u64() as u16,
+            len: rng.gen_range(1u8..=32),
+        },
+        6 => Instruction::Terminate,
+        _ => Instruction::Wakeup(rng.next_u64() as u8),
+    })
 }
 
-proptest! {
+props! {
     /// Encode→decode is the identity for every EP instruction, and the
     /// decoded length equals the encoded length.
     #[test]
@@ -55,18 +60,18 @@ proptest! {
 // 802.15.4 frames
 // ---------------------------------------------------------------------
 
-proptest! {
+props! {
     /// Frame encode→decode is the identity for any addressing and
     /// payload.
     #[test]
     fn frame_roundtrip(
-        pan in any::<u16>(),
-        src in any::<u16>(),
-        dest in any::<u16>(),
-        seq in any::<u8>(),
-        ack in any::<bool>(),
-        command in any::<bool>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..=116),
+        pan in any_u16(),
+        src in any_u16(),
+        dest in any_u16(),
+        seq in any_u8(),
+        ack in any_bool(),
+        command in any_bool(),
+        payload in vec_of(any_u8(), 0..=116),
     ) {
         let mut f = Frame::data(pan, src, dest, seq, &payload).unwrap();
         if command {
@@ -81,8 +86,8 @@ proptest! {
     /// FCS (CRC-16 detects all single-bit errors).
     #[test]
     fn single_bit_corruption_detected(
-        payload in proptest::collection::vec(any::<u8>(), 0..=32),
-        bit in any::<u16>(),
+        payload in vec_of(any_u8(), 0..=32),
+        bit in any_u16(),
     ) {
         let f = Frame::data(0x22, 1, 2, 3, &payload).unwrap();
         let mut bytes = f.encode();
@@ -96,8 +101,8 @@ proptest! {
     /// nonzero flip in a fixed-length message.
     #[test]
     fn crc_sensitive_to_any_change(
-        data in proptest::collection::vec(any::<u8>(), 1..64),
-        idx in any::<u16>(),
+        data in vec_of(any_u8(), 1..64),
+        idx in any_u16(),
         flip in 1u8..=255,
     ) {
         let mut mutated = data.clone();
@@ -111,7 +116,7 @@ proptest! {
 // AVR assembler / decoder agreement
 // ---------------------------------------------------------------------
 
-proptest! {
+props! {
     /// Register-register ALU operations encode and decode consistently
     /// through the assembler for every register pair.
     #[test]
@@ -132,7 +137,7 @@ proptest! {
             Insn::Or { d, r } => (d, r),
             Insn::Eor { d, r } => (d, r),
             Insn::Mov { d, r } => (d, r),
-            other => return Err(TestCaseError::fail(format!("decoded {other:?}"))),
+            other => panic!("decoded {other:?}"),
         };
         prop_assert_eq!((dd, rr), (d, r));
     }
@@ -140,7 +145,7 @@ proptest! {
     /// 8-bit add executed on the CPU matches wide-integer reference
     /// semantics including carry and zero flags.
     #[test]
-    fn avr_add_matches_reference(a in any::<u8>(), b in any::<u8>()) {
+    fn avr_add_matches_reference(a in any_u8(), b in any_u8()) {
         use ulp_node::mcu8::{assemble, Cpu, FlatBus, SREG_C, SREG_Z};
         let src = format!("ldi r16, {a}\nldi r17, {b}\nadd r16, r17\nbreak");
         let img = assemble(&src).unwrap();
@@ -159,7 +164,7 @@ proptest! {
     /// 16-bit subtract-with-borrow chains (sub/sbc) match reference
     /// semantics.
     #[test]
-    fn avr_sub16_matches_reference(x in any::<u16>(), y in any::<u16>()) {
+    fn avr_sub16_matches_reference(x in any_u16(), y in any_u16()) {
         use ulp_node::mcu8::{assemble, Cpu, FlatBus, SREG_C};
         let src = format!(
             "ldi r24, {}\nldi r25, {}\nldi r26, {}\nldi r27, {}\n\
@@ -182,12 +187,12 @@ proptest! {
 // SRAM invariants
 // ---------------------------------------------------------------------
 
-proptest! {
+props! {
     /// Reads return the last write to the same powered address,
     /// regardless of interleaved traffic elsewhere.
     #[test]
     fn sram_read_your_writes(
-        writes in proptest::collection::vec((0u16..2048, any::<u8>()), 1..100),
+        writes in vec_of((0u16..2048, any_u8()), 1..100),
     ) {
         let mut mem = BankedSram::new(SramConfig::paper());
         let mut model = std::collections::HashMap::new();
@@ -205,7 +210,7 @@ proptest! {
     /// of subsequent idle time.
     #[test]
     fn sram_energy_monotone(
-        ops in proptest::collection::vec((0u8..4, 0u16..2048, 1u64..1000), 1..60),
+        ops in vec_of((0u8..4, 0u16..2048, 1u64..1000), 1..60),
     ) {
         let mut mem = BankedSram::new(SramConfig::paper());
         let mut last = Energy::ZERO;
@@ -234,11 +239,11 @@ proptest! {
 // Kernel units and metering
 // ---------------------------------------------------------------------
 
-proptest! {
+props! {
     /// Energy integration: charging a component for split spans equals
     /// charging it once for the total.
     #[test]
-    fn meter_span_splitting(total in 1u64..1_000_000, cut in any::<u64>()) {
+    fn meter_span_splitting(total in 1u64..1_000_000, cut in any_u64()) {
         use ulp_node::sim::EnergyMeter;
         let spec = PowerSpec::new(
             Power::from_uw(10.0),
@@ -274,14 +279,14 @@ proptest! {
 // Timer prediction soundness (the idle-skip safety property)
 // ---------------------------------------------------------------------
 
-proptest! {
+props! {
     /// `cycles_to_next_alarm` never overshoots: ticking exactly that many
     /// cycles produces at least one underflow, and ticking one fewer
     /// produces none.
     #[test]
     fn timer_prediction_is_exact(
-        periods in proptest::collection::vec(1u16..500, 1..4),
-        chain in any::<bool>(),
+        periods in vec_of(1u16..500, 1..4),
+        chain in any_bool(),
     ) {
         use ulp_node::core_arch::slaves::TimerBlock;
         let mut t = TimerBlock::new();

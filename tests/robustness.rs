@@ -2,12 +2,12 @@
 //! input the programming model can express — garbage programs, random
 //! bus traffic, arbitrary frames — only fault or ignore, deterministically.
 
-use proptest::prelude::*;
 use ulp_node::core_arch::slaves::{ConstSensor, SensorBlock, Slaves};
 use ulp_node::core_arch::{System, SystemConfig};
 use ulp_node::mcu8::{Cpu, FlatBus};
 use ulp_node::sim::{Cycles, Engine};
 use ulp_node::sram::{BankedSram, SramConfig};
+use ulp_testkit::{any_bool, any_u16, any_u64, any_u8, prop_assert, prop_assert_eq, props, vec_of};
 
 fn fresh_slaves() -> Slaves {
     Slaves::new(
@@ -17,11 +17,11 @@ fn fresh_slaves() -> Slaves {
     )
 }
 
-proptest! {
+props! {
     /// The bus decode never panics: every 16-bit address either reads a
     /// byte or returns a typed fault.
     #[test]
-    fn bus_decode_total(addrs in proptest::collection::vec(any::<u16>(), 1..200)) {
+    fn bus_decode_total(addrs in vec_of(any_u16(), 1..200)) {
         let mut s = fresh_slaves();
         for addr in addrs {
             let _ = s.read(addr);
@@ -32,7 +32,7 @@ proptest! {
     /// Power control is total over the 5-bit id space: every id either
     /// switches something or faults, and the operation is idempotent.
     #[test]
-    fn power_control_total(ids in proptest::collection::vec((0u8..32, any::<bool>()), 1..50)) {
+    fn power_control_total(ids in vec_of((0u8..32, any_bool()), 1..50)) {
         let wake = ulp_node::core_arch::WakeLatency::paper();
         let mut s = fresh_slaves();
         for (id, on) in ids {
@@ -41,7 +41,7 @@ proptest! {
             match (first, second) {
                 (Ok(_), Ok(lat2)) => prop_assert_eq!(lat2, Cycles::ZERO, "idempotent"),
                 (Err(_), Err(_)) => {}
-                other => return Err(TestCaseError::fail(format!("inconsistent: {other:?}"))),
+                other => panic!("inconsistent: {other:?}"),
             }
         }
     }
@@ -51,7 +51,7 @@ proptest! {
     /// grinding — it never panics and never corrupts the engine.
     #[test]
     fn random_ep_isr_never_panics(
-        code in proptest::collection::vec(any::<u8>(), 1..48),
+        code in vec_of(any_u8(), 1..48),
         irq in 0u8..64,
     ) {
         let mut sys = System::new(SystemConfig::default(), Box::new(ConstSensor(0)));
@@ -68,7 +68,7 @@ proptest! {
     /// invalid encoding; it never panics, and the cycle count per step
     /// stays within the architectural bound.
     #[test]
-    fn random_avr_program_never_panics(words in proptest::collection::vec(any::<u16>(), 1..64)) {
+    fn random_avr_program_never_panics(words in vec_of(any_u16(), 1..64)) {
         // Build the program image through the raw-word side door.
         let img = ulp_node::isa::asm::Assembler::new(ulp_node::mcu8::AvrIsa)
             .assemble(&format!(".org 0\n.dw {}", words.iter().map(|w| w.to_string())
@@ -89,7 +89,7 @@ proptest! {
 
     /// Sensor models are total over time and channel.
     #[test]
-    fn sensor_models_total(at in any::<u64>(), ch in any::<u8>(), seed in any::<u64>()) {
+    fn sensor_models_total(at in any_u64(), ch in any_u8(), seed in any_u64()) {
         use ulp_node::core_arch::slaves::{RandomWalkSensor, SensorModel, SineSensor, TraceSensor};
         let _ = ConstSensor(at as u8).sample(Cycles(at), ch);
         let mut s = SineSensor { period: (at % 1_000_000).max(1), amplitude: 300.0, offset: -10.0 };
