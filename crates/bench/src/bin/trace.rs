@@ -1,0 +1,112 @@
+//! Telemetry trace dumper: run a reference workload with the typed trace
+//! and metrics probes enabled, then export deterministic artifacts.
+//!
+//! ```text
+//! cargo run -p ulp-bench --bin trace -- --app stage4 --out trace.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--app stage4|mica2|net` — workload (default `stage4`)
+//! * `--cycles N`  — horizon: cycles for `stage4`/`mica2`, co-sim slots
+//!   for `net` (default per app, see `tracegen::default_horizon`)
+//! * `--seed N`    — PRNG seed (default per app, matching the
+//!   determinism suite)
+//! * `--out PATH`  — write Chrome/Perfetto trace-event JSON here
+//! * `--csv PATH`  — write the CSV timeline here
+//! * `--summary PATH` — write the metrics summary table here
+//! * `--check`     — run the workload twice, assert the three artifacts
+//!   are byte-identical, and validate the JSON with the in-tree parser
+//!
+//! The metrics summary always goes to stdout. Open the JSON in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::process::exit;
+
+use ulp_bench::tracegen;
+use ulp_sim::telemetry::validate_json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--app stage4|mica2|net] [--cycles N] [--seed N] \
+         [--out FILE.json] [--csv FILE.csv] [--summary FILE.txt] [--check]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut app = String::from("stage4");
+    let mut cycles: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut summary: Option<String> = None;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--app" => app = value("--app"),
+            "--cycles" => {
+                cycles = Some(value("--cycles").parse().unwrap_or_else(|e| {
+                    eprintln!("--cycles: {e}");
+                    usage()
+                }))
+            }
+            "--seed" => {
+                seed = Some(value("--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("--seed: {e}");
+                    usage()
+                }))
+            }
+            "--out" => out = Some(value("--out")),
+            "--csv" => csv = Some(value("--csv")),
+            "--summary" => summary = Some(value("--summary")),
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    if !matches!(app.as_str(), "stage4" | "mica2" | "net") {
+        eprintln!("unknown app `{app}`");
+        usage();
+    }
+    let cycles = cycles.unwrap_or_else(|| tracegen::default_horizon(&app));
+    let seed = seed.unwrap_or_else(|| tracegen::default_seed(&app));
+
+    let export = tracegen::run(&app, cycles, seed);
+    if check {
+        let again = tracegen::run(&app, cycles, seed);
+        assert_eq!(export.json, again.json, "JSON export must be deterministic");
+        assert_eq!(export.csv, again.csv, "CSV export must be deterministic");
+        assert_eq!(
+            export.summary, again.summary,
+            "summary must be deterministic"
+        );
+        if let Err(e) = validate_json(&export.json) {
+            eprintln!("trace JSON failed validation: {e}");
+            exit(1);
+        }
+        eprintln!("check ok: double run byte-identical, JSON well-formed");
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, &export.json).expect("write --out");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &csv {
+        std::fs::write(path, &export.csv).expect("write --csv");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &summary {
+        std::fs::write(path, &export.summary).expect("write --summary");
+        eprintln!("wrote {path}");
+    }
+    print!("{}", export.summary);
+}

@@ -17,6 +17,11 @@
 //! | `fig6`   | Power vs duty cycle (plus Atmel/MSP430 comparisons) |
 //! | `snap_compare` | blink/sense vs published SNAP numbers |
 //!
+//! In addition, the `trace` binary is not tied to a paper table: it runs
+//! a reference workload with the telemetry layer enabled and dumps
+//! deterministic Chrome/Perfetto trace JSON, CSV timelines, and metrics
+//! summaries (see [`tracegen`]).
+//!
 //! The measurement functions live here so integration tests can assert
 //! on the same numbers the binaries print, and the deterministic report
 //! text lives in [`report`] so `tests/golden.rs` can pin the binaries'
@@ -25,6 +30,7 @@
 pub mod measure;
 pub mod report;
 pub mod table;
+pub mod tracegen;
 
 pub use measure::{measure_table4, SystemSide, Table4Row};
 pub use table::TableWriter;

@@ -23,7 +23,24 @@ use crate::map;
 use crate::power::WakeLatency;
 use crate::slaves::{BusError, Slaves};
 use ulp_isa::ep::{Instruction, Opcode};
-use ulp_sim::{Cycles, TraceBuffer};
+use ulp_sim::{Cycles, EpInsn, TraceBuffer, TraceKind};
+
+/// Mirror an ISA instruction into the kernel crate's typed trace
+/// representation (`ulp-sim` cannot depend on `ulp-isa`; `EpInsn`'s
+/// `Display` byte-matches the assembler syntax, verified by tests on
+/// both sides).
+fn ep_insn(insn: &Instruction) -> EpInsn {
+    match *insn {
+        Instruction::SwitchOn(c) => EpInsn::SwitchOn(c.raw()),
+        Instruction::SwitchOff(c) => EpInsn::SwitchOff(c.raw()),
+        Instruction::Read(a) => EpInsn::Read(a),
+        Instruction::Write(a) => EpInsn::Write(a),
+        Instruction::WriteI { addr, value } => EpInsn::WriteI { addr, value },
+        Instruction::Transfer { src, dst, len } => EpInsn::Transfer { src, dst, len },
+        Instruction::Terminate => EpInsn::Terminate,
+        Instruction::Wakeup(v) => EpInsn::Wakeup(v),
+    }
+}
 
 /// What the event processor did this cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +122,10 @@ pub struct EventProcessor {
     /// The single temporary-data register (§4.3.3).
     reg: u8,
     stats: EpStats,
+    /// When the last interrupt was dispatched and how long it had waited
+    /// (cycle of the `take`, raise→take wait). The system uses this to
+    /// compose the IRQ→µC wake latency without widening `EpAction`.
+    last_dispatch: (Cycles, u64),
 }
 
 impl Default for EventProcessor {
@@ -120,7 +141,14 @@ impl EventProcessor {
             state: State::Ready,
             reg: 0,
             stats: EpStats::default(),
+            last_dispatch: (Cycles::ZERO, 0),
         }
+    }
+
+    /// The cycle at which the most recent interrupt was dispatched and
+    /// how long it had waited in the arbiter (cycles).
+    pub fn last_dispatch(&self) -> (Cycles, u64) {
+        self.last_dispatch
     }
 
     /// Whether the EP is in `READY` with nothing latched.
@@ -178,8 +206,10 @@ impl EventProcessor {
                     self.stats.wait_bus_cycles += 1;
                     return Ok(EpAction::Busy);
                 }
-                let irq = slaves.irqs.take().expect("pending checked");
-                trace.record(now, "ep", format!("LOOKUP irq={irq}"));
+                let (irq, waited) = slaves.irqs.take_with_latency().expect("pending checked");
+                self.last_dispatch = (now, waited);
+                trace.record(now, "irq", TraceKind::IrqDispatch { irq, waited });
+                trace.record(now, "ep", TraceKind::EpLookup { irq });
                 // First lookup cycle: read the ISR-address low byte.
                 let lo = slaves.read(map::EP_VECTORS + irq as u16 * 2)?;
                 self.state = State::Lookup { irq, lo };
@@ -188,7 +218,7 @@ impl EventProcessor {
             State::Lookup { irq, lo } => {
                 let hi = slaves.read(map::EP_VECTORS + irq as u16 * 2 + 1)?;
                 let isr = u16::from_le_bytes([lo, hi]);
-                trace.record(now, "ep", format!("FETCH isr=0x{isr:04X}"));
+                trace.record(now, "ep", TraceKind::EpFetch { isr });
                 self.state = State::Fetch {
                     irq,
                     pc: isr,
@@ -213,7 +243,7 @@ impl EventProcessor {
                 }
                 let (insn, _) =
                     Instruction::decode(&buf[..have as usize]).expect("length satisfied");
-                trace.record(now, "ep", format!("EXECUTE {insn}"));
+                trace.record(now, "ep", TraceKind::EpExecute { insn: ep_insn(&insn) });
                 self.state = State::Execute {
                     irq,
                     insn,
@@ -280,6 +310,9 @@ impl EventProcessor {
         match insn {
             Instruction::SwitchOn(c) => {
                 let lat = slaves.set_power(c.raw(), true, wake)?;
+                if let Some(kind) = map::power_trace_kind(c.raw(), true) {
+                    trace.record(now, "power", kind);
+                }
                 self.stats.instructions += 1;
                 if lat.0 > 0 {
                     self.state = State::Stall {
@@ -299,18 +332,38 @@ impl EventProcessor {
             }
             Instruction::SwitchOff(c) => {
                 slaves.set_power(c.raw(), false, wake)?;
+                if let Some(kind) = map::power_trace_kind(c.raw(), false) {
+                    trace.record(now, "power", kind);
+                }
                 proceed(self)
             }
             Instruction::Read(addr) => {
                 self.reg = slaves.read(addr)?;
+                trace.record(
+                    now,
+                    "bus",
+                    TraceKind::BusRead {
+                        addr,
+                        value: self.reg,
+                    },
+                );
                 proceed(self)
             }
             Instruction::Write(addr) => {
                 slaves.write(addr, self.reg)?;
+                trace.record(
+                    now,
+                    "bus",
+                    TraceKind::BusWrite {
+                        addr,
+                        value: self.reg,
+                    },
+                );
                 proceed(self)
             }
             Instruction::WriteI { addr, value } => {
                 slaves.write(addr, value)?;
+                trace.record(now, "bus", TraceKind::BusWrite { addr, value });
                 proceed(self)
             }
             Instruction::Transfer { src, dst, len } => {
@@ -344,7 +397,7 @@ impl EventProcessor {
                 self.stats.instructions += 1;
                 self.stats.events += 1;
                 self.stats.events_by_irq[irq as usize] += 1;
-                trace.record(now, "ep", "READY (terminate)");
+                trace.record(now, "ep", TraceKind::EpTerminate);
                 self.state = State::Ready;
                 Ok(EpAction::Busy)
             }
@@ -369,7 +422,7 @@ impl EventProcessor {
                         self.stats.instructions += 1;
                         self.stats.events += 1;
                         self.stats.events_by_irq[irq as usize] += 1;
-                        trace.record(now, "ep", format!("READY (wakeup µC @0x{handler:04X})"));
+                        trace.record(now, "ep", TraceKind::EpWakeupMcu { handler });
                         self.state = State::Ready;
                         Ok(EpAction::WakeMcu {
                             handler,
@@ -553,12 +606,18 @@ mod tests {
             slaves.tick(Cycles(1000 + c));
         }
         assert!(slaves.irqs.is_pending(map::Irq::MsgReady.id()));
-        // The trace recorded the state walk.
-        assert!(trace.events().iter().any(|e| e.detail.contains("LOOKUP")));
+        // The trace recorded the state walk, with the typed kinds
+        // rendering the legacy strings losslessly.
+        assert!(trace.events().any(|e| e.detail().contains("LOOKUP")));
         assert!(trace
             .events()
-            .iter()
-            .any(|e| e.detail.contains("EXECUTE switchon 4")));
+            .any(|e| e.detail().contains("EXECUTE switchon 4")));
+        assert!(
+            trace
+                .events()
+                .any(|e| matches!(e.kind, TraceKind::PowerOn { component: "sensor" })),
+            "typed power event recorded"
+        );
     }
 
     #[test]

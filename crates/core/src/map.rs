@@ -165,6 +165,45 @@ impl Component {
             _ => return None,
         })
     }
+
+    /// Human-readable component name (used for trace events; matches the
+    /// energy-meter component names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Timer => "timer",
+            Component::Filter => "filter",
+            Component::MsgProc => "msgproc",
+            Component::Radio => "radio",
+            Component::Sensor => "sensor",
+            Component::Mcu => "mcu",
+            Component::MemBank0 => "memory",
+        }
+    }
+}
+
+/// The typed trace event for switching component `id` on (`on = true`)
+/// or off. Memory banks map to the dedicated SRAM bank wake/gate kinds;
+/// invalid ids return `None` (the bus fault is reported elsewhere).
+pub fn power_trace_kind(id: u8, on: bool) -> Option<ulp_sim::TraceKind> {
+    use ulp_sim::TraceKind;
+    Some(match Component::decode(id)? {
+        (Component::MemBank0, Some(bank)) => {
+            let bank = bank as u8;
+            if on {
+                TraceKind::SramBankWake { bank }
+            } else {
+                TraceKind::SramBankGate { bank }
+            }
+        }
+        (comp, _) => {
+            let component = comp.name();
+            if on {
+                TraceKind::PowerOn { component }
+            } else {
+                TraceKind::PowerOff { component }
+            }
+        }
+    })
 }
 
 /// Interrupt bus ids (6-bit, so up to 64; §4.3.1).

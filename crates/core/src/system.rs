@@ -9,9 +9,10 @@ use crate::power::{SystemPower, WakeLatency};
 use crate::slaves::{BusError, SensorBlock, SensorModel, Slaves};
 use std::collections::VecDeque;
 use std::fmt;
+use ulp_sim::telemetry::{Log2Histogram, Metrics};
 use ulp_sim::{
     Cycles, Energy, EnergyMeter, Frequency, MeterId, Power, PowerMode, PowerSpec, Simulatable,
-    StepOutcome, TraceBuffer,
+    StepOutcome, TraceBuffer, TraceKind,
 };
 use ulp_sram::{BankedSram, SramConfig};
 
@@ -111,6 +112,18 @@ pub struct System {
     fault: Option<SystemFault>,
     busy_cycles: Cycles,
     mem_energy_mark: Energy,
+    /// Telemetry master switch (default off: probes cost one branch).
+    telemetry: bool,
+    /// IRQ→µC-running latency distribution (cycles).
+    mcu_wake_hist: Log2Histogram,
+    /// Idle-skip span lengths (cycles per fast-forward jump).
+    idle_skip_hist: Log2Histogram,
+    /// Busy (bus-occupied) cycles per engine epoch.
+    bus_occupancy_hist: Log2Histogram,
+    /// `busy_cycles` at the last epoch boundary.
+    epoch_busy_mark: Cycles,
+    /// Radio TX line state last cycle (edge detector for trace events).
+    prev_transmitting: bool,
 }
 
 impl fmt::Debug for System {
@@ -160,6 +173,12 @@ impl System {
             fault: None,
             busy_cycles: Cycles::ZERO,
             mem_energy_mark: Energy::ZERO,
+            telemetry: false,
+            mcu_wake_hist: Log2Histogram::new(),
+            idle_skip_hist: Log2Histogram::new(),
+            bus_occupancy_hist: Log2Histogram::new(),
+            epoch_busy_mark: Cycles::ZERO,
+            prev_transmitting: false,
         }
     }
 
@@ -206,6 +225,77 @@ impl System {
     /// Recorded trace events.
     pub fn trace(&self) -> &TraceBuffer {
         &self.trace
+    }
+
+    /// Enable or disable telemetry (latency/occupancy histograms). Off
+    /// by default; when off every probe costs a single branch, mirroring
+    /// the trace buffer, so the hot path is unchanged.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+        self.slaves.irqs.set_timing(on);
+    }
+
+    /// Whether telemetry recording is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
+    /// IRQ→µC wake latency distribution: raise → first µC-powered cycle,
+    /// including the arbiter wait, the EP's WAKEUP ISR, and the µC
+    /// wake-handshake stall.
+    pub fn mcu_wake_latency(&self) -> &Log2Histogram {
+        &self.mcu_wake_hist
+    }
+
+    /// Idle-skip span-length distribution (cycles per fast-forward jump).
+    pub fn idle_skip_spans(&self) -> &Log2Histogram {
+        &self.idle_skip_hist
+    }
+
+    /// Busy-cycles-per-epoch distribution, sampled by the engine's
+    /// [`on_epoch`](Simulatable::on_epoch) hook (enable with
+    /// `Engine::set_epoch`).
+    pub fn bus_occupancy(&self) -> &Log2Histogram {
+        &self.bus_occupancy_hist
+    }
+
+    /// Snapshot every counter and histogram into a [`Metrics`] registry
+    /// (deterministic insertion order, so exports are byte-stable).
+    pub fn telemetry_snapshot(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.insert_histogram("irq.service_latency", self.slaves.irqs.service_latency());
+        m.insert_histogram("mcu.wake_latency", &self.mcu_wake_hist);
+        m.insert_histogram("engine.idle_skip_span", &self.idle_skip_hist);
+        m.insert_histogram("bus.busy_per_epoch", &self.bus_occupancy_hist);
+        m.counter_add("irq.raised", self.slaves.irqs.raised());
+        m.counter_add("irq.dropped", self.slaves.irqs.dropped());
+        m.counter_add("irq.taken", self.slaves.irqs.taken());
+        let ep = self.ep.stats();
+        m.counter_add("ep.events", ep.events);
+        m.counter_add("ep.instructions", ep.instructions);
+        m.counter_add("ep.active_cycles", ep.active_cycles);
+        m.counter_add("ep.wait_bus_cycles", ep.wait_bus_cycles);
+        let mcu = self.mcu.stats();
+        m.counter_add("mcu.wakeups", mcu.wakeups);
+        m.counter_add("mcu.instructions", mcu.instructions);
+        m.counter_add("mcu.active_cycles", mcu.active_cycles);
+        let radio = self.slaves.radio.stats();
+        m.counter_add("radio.transmitted", radio.transmitted);
+        m.counter_add("radio.received", radio.received);
+        m.counter_add("radio.missed", radio.missed);
+        let msg = self.slaves.msgproc.stats();
+        m.counter_add("msg.prepared", msg.prepared);
+        m.counter_add("msg.forwarded", msg.forwarded);
+        m.counter_add("msg.duplicates", msg.duplicates);
+        m.counter_add("msg.irregular", msg.irregular);
+        m.counter_add("msg.decode_errors", msg.decode_errors);
+        for (irq, &n) in self.slaves.irqs.raised_by_irq().iter().enumerate() {
+            if n > 0 {
+                m.counter_add(&format!("irq.events.{irq}"), n);
+            }
+        }
+        m.counter_add("trace.dropped", self.trace.dropped());
+        m
     }
 
     /// The fatal fault, if the simulation hit one.
@@ -334,6 +424,9 @@ impl System {
         }
         self.now += Cycles(1);
         let now = self.now;
+        // Timestamp the arbiter so raises carry the right cycle for
+        // service-latency measurement and IrqAssert trace events.
+        self.slaves.irqs.set_now(now);
 
         // Deliver due frames from the medium.
         while let Some((at, _)) = self.rx_queue.front() {
@@ -343,12 +436,22 @@ impl System {
             let (_, bytes) = self.rx_queue.pop_front().expect("checked front");
             if self.slaves.radio.deliver(&bytes) {
                 self.slaves.irqs.raise(Irq::RadioRxDone.id());
-                self.trace.record(now, "radio", "rx frame delivered");
+                self.trace.record(now, "radio", TraceKind::RadioRxDelivered);
             }
         }
 
         // Slaves advance (timers count, in-flight operations progress).
         self.slaves.tick(now);
+
+        // Emit typed assert events for interrupts raised this cycle.
+        if self.trace.is_enabled() {
+            let mut newly = self.slaves.irqs.take_newly_raised();
+            while newly != 0 {
+                let irq = newly.trailing_zeros() as u8;
+                newly &= newly - 1;
+                self.trace.record(now, "irq", TraceKind::IrqAssert { irq });
+            }
+        }
 
         // Masters: the microcontroller owns the bus while powered; the
         // event processor otherwise (and waits on the bus meanwhile).
@@ -366,13 +469,16 @@ impl System {
                 if self.slaves.sys.mcu_sleep_requested {
                     self.slaves.sys.mcu_sleep_requested = false;
                     self.mcu.sleep();
-                    self.trace.record(now, "mcu", "sleep (Vdd-gated)");
+                    self.trace.record(now, "mcu", TraceKind::McuSleep);
                 }
                 let requests = std::mem::take(&mut self.slaves.sys.power_requests);
                 for (on, id) in requests {
                     if let Err(e) = self.slaves.set_power(id, on, &self.config.wake) {
                         self.fault = Some(SystemFault::Bus(e));
                         return StepOutcome::Halted;
+                    }
+                    if let Some(kind) = map::power_trace_kind(id, on) {
+                        self.trace.record(now, "power", kind);
                     }
                 }
             }
@@ -412,7 +518,15 @@ impl System {
                         return StepOutcome::Halted;
                     }
                     self.trace
-                        .record(now, "mcu", format!("wakeup @0x{handler:04X} (irq {cause})"));
+                        .record(now, "mcu", TraceKind::McuWake { handler, cause });
+                    if self.telemetry {
+                        // Raise → µC running: arbiter wait + EP ISR time
+                        // since dispatch + the µC wake-handshake stall.
+                        let (taken_at, waited) = self.ep.last_dispatch();
+                        let isr = now.0.saturating_sub(taken_at.0);
+                        self.mcu_wake_hist
+                            .record(waited + isr + self.config.wake.mcu.0);
+                    }
                 }
                 Err(e) => {
                     self.fault = Some(SystemFault::Bus(e));
@@ -431,8 +545,24 @@ impl System {
             self.busy_cycles += Cycles(1);
         }
 
+        // Radio TX edge + completion trace events.
+        let transmitting = self.slaves.radio.transmitting();
+        if transmitting && !self.prev_transmitting {
+            self.trace.record(now, "radio", TraceKind::RadioTxStart);
+        }
+        self.prev_transmitting = transmitting;
+
         // Collect completed transmissions.
         let sent = self.slaves.radio.take_outbox();
+        for (_, bytes) in &sent {
+            self.trace.record(
+                now,
+                "radio",
+                TraceKind::RadioTxDone {
+                    len: bytes.len() as u8,
+                },
+            );
+        }
         if self.config.collect_outbox {
             self.outbox.extend(sent);
         }
@@ -587,6 +717,17 @@ impl Simulatable for System {
         self.slaves.skip(span);
         self.charge_idle_span(span);
         self.now = target;
+        if self.telemetry {
+            self.idle_skip_hist.record(span.0);
+        }
+    }
+
+    fn on_epoch(&mut self, _index: u64) {
+        if self.telemetry {
+            let busy = self.busy_cycles - self.epoch_busy_mark;
+            self.epoch_busy_mark = self.busy_cycles;
+            self.bus_occupancy_hist.record(busy.0);
+        }
     }
 }
 
@@ -825,6 +966,68 @@ mod tests {
         assert!(!sys.mcu().powered(), "handler slept");
         assert_eq!(sys.mcu().stats().wakeups, 1);
         assert!(sys.is_quiescent());
+    }
+
+    #[test]
+    fn telemetry_histograms_populate() {
+        let mut sys = monitoring_system(1000);
+        sys.set_telemetry(true);
+        sys.trace_mut().set_enabled(true);
+        let mut engine = Engine::new(sys);
+        engine.set_epoch(Cycles(512));
+        engine.run_for(Cycles(20_000));
+        let sys = engine.machine();
+        assert!(sys.fault().is_none());
+        assert!(!sys.slaves().irqs.service_latency().is_empty());
+        assert!(!sys.idle_skip_spans().is_empty());
+        assert!(!sys.bus_occupancy().is_empty());
+        let m = sys.telemetry_snapshot();
+        assert!(m.counter("irq.raised").unwrap() > 0);
+        assert!(m.histogram("irq.service_latency").unwrap().count() > 0);
+        // Typed radio + irq trace events made it into the buffer.
+        assert!(sys
+            .trace()
+            .events()
+            .any(|e| matches!(e.kind, ulp_sim::TraceKind::IrqAssert { .. })));
+        assert!(sys
+            .trace()
+            .events()
+            .any(|e| matches!(e.kind, ulp_sim::TraceKind::RadioTxStart)));
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let mut engine = Engine::new(monitoring_system(1000));
+        engine.set_epoch(Cycles(512));
+        engine.run_for(Cycles(20_000));
+        let sys = engine.machine();
+        assert!(sys.slaves().irqs.service_latency().is_empty());
+        assert!(sys.idle_skip_spans().is_empty());
+        assert!(sys.bus_occupancy().is_empty());
+        assert!(sys.mcu_wake_latency().is_empty());
+    }
+
+    #[test]
+    fn mcu_wake_latency_includes_handshake() {
+        let mut sys = system();
+        sys.set_telemetry(true);
+        let isr = encode_program(&[I::Wakeup(0)]);
+        sys.load(0x0200, &isr);
+        sys.install_ep_isr(5, 0x0200);
+        let handler = ulp_mcu8::assemble("ldi r16, 1\nsts 0x1500, r16\nspin: rjmp spin").unwrap();
+        for seg in handler.segments() {
+            sys.load(0x0400 + seg.origin as u16, &seg.data);
+        }
+        sys.install_mcu_handler(0, 0x0400);
+        sys.inject_irq(5);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(200));
+        let sys = engine.machine();
+        assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+        let h = sys.mcu_wake_latency();
+        assert_eq!(h.count(), 1);
+        // At least the WAKEUP ISR (6 cycles) plus the µC handshake.
+        assert!(h.min().unwrap() >= 6 + sys.config().wake.mcu.0);
     }
 
     #[test]

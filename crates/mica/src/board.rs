@@ -7,7 +7,8 @@ use std::collections::VecDeque;
 use ulp_isa::asm::Image;
 use ulp_mcu8::{Bus, Cpu};
 use ulp_net::PhyTiming;
-use ulp_sim::{Cycles, Simulatable, StepOutcome};
+use ulp_sim::telemetry::{Log2Histogram, Metrics};
+use ulp_sim::{Cycles, Simulatable, StepOutcome, TraceBuffer, TraceKind};
 
 /// RAM starts at data address 0x0100 on the ATmega128.
 pub const RAM_BASE: u16 = 0x0100;
@@ -82,6 +83,26 @@ struct MicaBus {
     senddone_in: Option<u64>,
     tx_capture: Option<Vec<u8>>,
     pending: u8, // bitmask over vectors 1..=4
+    /// Current cycle (fed by the board for latency timestamps).
+    now: u64,
+    /// Cycle at which each pending vector was asserted.
+    pending_since: [u64; 8],
+    /// Bitmask: vector was asserted while the CPU slept.
+    sleep_at_assert: u8,
+    /// Bitmask of vectors asserted since the last board drain (trace).
+    newly: u8,
+    /// Whether the CPU was sleeping (fed by the board).
+    cpu_sleeping: bool,
+    /// Latency histogram recording on/off (default off).
+    timing: bool,
+    /// Assert→dispatch wait distribution (cycles).
+    irq_service: Log2Histogram,
+    /// Assert→dispatch wait for asserts that arrived while sleeping.
+    wake_latency: Log2Histogram,
+    /// Events asserted per vector.
+    raised_by_vec: [u64; 8],
+    /// Most recent dispatch (vector, waited), drained by the board.
+    last_dispatch: Option<(u8, u64)>,
 }
 
 impl MicaBus {
@@ -103,7 +124,34 @@ impl MicaBus {
             senddone_in: None,
             tx_capture: None,
             pending: 0,
+            now: 0,
+            pending_since: [0; 8],
+            sleep_at_assert: 0,
+            newly: 0,
+            cpu_sleeping: false,
+            timing: false,
+            irq_service: Log2Histogram::new(),
+            wake_latency: Log2Histogram::new(),
+            raised_by_vec: [0; 8],
+            last_dispatch: None,
         }
+    }
+
+    /// Assert interrupt vector `v`, timestamping first asserts (a vector
+    /// already pending keeps its original timestamp — the AVR's one-deep
+    /// interrupt flags behave the same way).
+    fn raise(&mut self, v: u8) {
+        if self.pending & (1 << v) == 0 {
+            self.pending_since[v as usize] = self.now;
+            if self.cpu_sleeping {
+                self.sleep_at_assert |= 1 << v;
+            } else {
+                self.sleep_at_assert &= !(1 << v);
+            }
+        }
+        self.pending |= 1 << v;
+        self.newly |= 1 << v;
+        self.raised_by_vec[v as usize] += 1;
     }
 
     fn ram_read(&self, addr: u16) -> u8 {
@@ -176,6 +224,15 @@ impl Bus for MicaBus {
         }
         let v = self.pending.trailing_zeros() as u8;
         self.pending &= !(1 << v);
+        let waited = self.now.saturating_sub(self.pending_since[v as usize]);
+        if self.timing {
+            self.irq_service.record(waited);
+            if self.sleep_at_assert & (1 << v) != 0 {
+                self.wake_latency.record(waited);
+            }
+        }
+        self.sleep_at_assert &= !(1 << v);
+        self.last_dispatch = Some((v, waited));
         Some(v)
     }
 }
@@ -193,6 +250,8 @@ pub struct Mica2Board {
     adc_conversions: u64,
     exec_trace_cap: usize,
     exec_trace: VecDeque<(u64, u16)>,
+    trace: TraceBuffer,
+    sent_total: u64,
 }
 
 impl std::fmt::Debug for Mica2Board {
@@ -230,6 +289,73 @@ impl Mica2Board {
             adc_conversions: 0,
             exec_trace_cap: 0,
             exec_trace: VecDeque::new(),
+            trace: TraceBuffer::new(65_536),
+            sent_total: 0,
+        }
+    }
+
+    /// The typed trace buffer (enable to record IRQ, radio, and CPU
+    /// sleep/wake events for Perfetto/CSV export).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable trace buffer (enable/disable, set overflow policy).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Enable or disable latency-histogram telemetry (default off; the
+    /// probes then cost only a branch).
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.bus.timing = on;
+    }
+
+    /// Assert→dispatch interrupt service latency (cycles).
+    pub fn irq_service_latency(&self) -> &Log2Histogram {
+        &self.bus.irq_service
+    }
+
+    /// Assert→dispatch latency for interrupts that had to wake the CPU
+    /// out of sleep (the event-service latency a ULP comparison cares
+    /// about).
+    pub fn wake_latency(&self) -> &Log2Histogram {
+        &self.bus.wake_latency
+    }
+
+    /// Snapshot counters and histograms into a deterministic registry.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.insert_histogram("irq.service_latency", &self.bus.irq_service);
+        m.insert_histogram("mcu.wake_latency", &self.bus.wake_latency);
+        let (active, idle, psave) = self.mode_cycles();
+        m.counter_add("cpu.active_cycles", active);
+        m.counter_add("cpu.idle_sleep_cycles", idle);
+        m.counter_add("cpu.power_save_cycles", psave);
+        m.counter_add("adc.conversions", self.adc_conversions);
+        m.counter_add("radio.sent", self.sent_total);
+        for (v, &n) in self.bus.raised_by_vec.iter().enumerate() {
+            if n > 0 {
+                m.counter_add(&format!("irq.events.{v}"), n);
+            }
+        }
+        m.counter_add("trace.dropped", self.trace.dropped());
+        m
+    }
+
+    /// Record `IrqAssert` trace events for vectors asserted since the
+    /// last drain (always clears the mask so stale bits cannot leak into
+    /// a later-enabled trace).
+    fn drain_irq_asserts(&mut self) {
+        let mut newly = std::mem::take(&mut self.bus.newly);
+        if !self.trace.is_enabled() {
+            return;
+        }
+        while newly != 0 {
+            let v = newly.trailing_zeros() as u8;
+            newly &= newly - 1;
+            self.trace
+                .record(self.now, "irq", TraceKind::IrqAssert { irq: v });
         }
     }
 
@@ -362,7 +488,9 @@ impl Mica2Board {
                 self.bus.ram_write(io::RXBUF + i as u16, *b);
             }
             self.bus.radio_rxlen = bytes.len() as u8;
-            self.bus.pending |= 1 << io::vectors::RADIO_RX;
+            self.bus.raise(io::vectors::RADIO_RX);
+            self.trace
+                .record(self.now, "radio", TraceKind::RadioRxDelivered);
         }
     }
 
@@ -374,7 +502,7 @@ impl Mica2Board {
             while self.bus.timer.counter >= period {
                 self.bus.timer.counter -= period;
                 if self.bus.timer.irq_en {
-                    self.bus.pending |= 1 << io::vectors::TIMER;
+                    self.bus.raise(io::vectors::TIMER);
                 }
             }
         }
@@ -384,7 +512,7 @@ impl Mica2Board {
                 self.bus.adc_busy = None;
                 self.bus.adc_data = (self.adc_source)(self.now);
                 self.adc_conversions += 1;
-                self.bus.pending |= 1 << io::vectors::ADC;
+                self.bus.raise(io::vectors::ADC);
             } else {
                 self.bus.adc_busy = Some(rem - cycles);
             }
@@ -393,7 +521,7 @@ impl Mica2Board {
         if let Some(rem) = self.bus.senddone_in {
             if rem <= cycles {
                 self.bus.senddone_in = None;
-                self.bus.pending |= 1 << io::vectors::RADIO_SENDDONE;
+                self.bus.raise(io::vectors::RADIO_SENDDONE);
             } else {
                 self.bus.senddone_in = Some(rem - cycles);
             }
@@ -431,7 +559,10 @@ impl Simulatable for Mica2Board {
         if self.cpu.halted() {
             return StepOutcome::Halted;
         }
+        self.bus.now = self.now.0;
+        self.bus.cpu_sleeping = self.cpu.sleeping();
         self.deliver_due_rx();
+        self.drain_irq_asserts();
 
         // Probe watchpoints observe the PC between instructions.
         let pc = self.cpu.pc;
@@ -454,14 +585,46 @@ impl Simulatable for Mica2Board {
             self.exec_trace.push_back((self.now.0, self.cpu.pc));
         }
         let mode_before = self.mode();
+        let was_sleeping = self.cpu.sleeping();
         let cycles = self.cpu.step(&mut self.bus) as u64;
         let cycles = cycles.max(1);
         self.now += Cycles(cycles);
+        self.bus.now = self.now.0;
+        self.bus.cpu_sleeping = self.cpu.sleeping();
         self.charge_mode(cycles, mode_before);
         self.advance_peripherals(cycles);
+        self.drain_irq_asserts();
+
+        // Typed dispatch / sleep-edge trace events.
+        if let Some((v, waited)) = self.bus.last_dispatch.take() {
+            self.trace
+                .record(self.now, "irq", TraceKind::IrqDispatch { irq: v, waited });
+            if was_sleeping {
+                // Vector v's jmp slot sits at word 2v = byte address 4v.
+                self.trace.record(
+                    self.now,
+                    "mcu",
+                    TraceKind::McuWake {
+                        handler: v as u16 * 4,
+                        cause: v,
+                    },
+                );
+            }
+        }
+        if !was_sleeping && self.cpu.sleeping() {
+            self.trace.record(self.now, "mcu", TraceKind::McuSleep);
+        }
 
         // Capture any transmission initiated by this instruction.
         if let Some(pkt) = self.bus.tx_capture.take() {
+            self.trace.record(
+                self.now,
+                "radio",
+                TraceKind::RadioTxDone {
+                    len: pkt.len() as u8,
+                },
+            );
+            self.sent_total += 1;
             self.sent.push((self.now, pkt));
         }
 
@@ -499,9 +662,13 @@ impl Simulatable for Mica2Board {
         self.charge_mode(span, mode);
         // Advance peripherals without crossing an event (the engine skips
         // to just before the next wakeup; advance_peripherals handles an
-        // exact landing too).
+        // exact landing too). Asserts raised exactly at the landing carry
+        // the post-skip timestamp.
+        self.bus.now = target.0;
+        self.bus.cpu_sleeping = self.cpu.sleeping();
         self.advance_peripherals(span);
         self.now = target;
+        self.drain_irq_asserts();
     }
 }
 
@@ -736,6 +903,72 @@ mod tests {
         b.set_exec_trace(2);
         run_to_halt(&mut b, 100);
         assert_eq!(b.exec_trace().count(), 2, "ring buffer evicts oldest");
+    }
+
+    #[test]
+    fn telemetry_measures_wakeups_from_sleep() {
+        let src = r#"
+            .org 0
+            jmp main
+            jmp tick
+        main:
+            ldi r16, 0xFF
+            out 0x3D, r16
+            ldi r16, 0x10
+            out 0x3E, r16
+            ldi r16, 9
+            out 0x12, r16
+            ldi r16, 3
+            out 0x11, r16
+            sei
+        loop:
+            sleep
+            rjmp loop
+        tick:
+            reti
+        "#;
+        let mut b = board(src);
+        b.set_telemetry(true);
+        b.trace_mut().set_enabled(true);
+        let mut e = Engine::new(b);
+        e.run_until_cycle(Cycles(3_300));
+        let b = e.machine();
+        assert!(
+            !b.irq_service_latency().is_empty(),
+            "timer ticks must be serviced"
+        );
+        assert!(
+            !b.wake_latency().is_empty(),
+            "ticks arrive while the CPU sleeps"
+        );
+        // Sleeping CPU services the tick quickly.
+        assert!(b.wake_latency().max().unwrap() < 64);
+        let m = b.metrics_snapshot();
+        assert!(m.counter("irq.events.1").unwrap() > 0, "timer is vector 1");
+        assert!(m.histogram("mcu.wake_latency").unwrap().count() > 0);
+        // Typed events landed in the trace.
+        use ulp_sim::TraceKind;
+        assert!(b
+            .trace()
+            .events()
+            .any(|ev| matches!(ev.kind, TraceKind::IrqAssert { irq: 1 })));
+        assert!(b
+            .trace()
+            .events()
+            .any(|ev| matches!(ev.kind, TraceKind::McuWake { cause: 1, .. })));
+        assert!(b
+            .trace()
+            .events()
+            .any(|ev| matches!(ev.kind, TraceKind::McuSleep)));
+    }
+
+    #[test]
+    fn telemetry_off_by_default() {
+        let mut b = board("ldi r16, 7\nsts 0x0300, r16\nbreak");
+        run_to_halt(&mut b, 100);
+        assert!(b.irq_service_latency().is_empty());
+        assert!(b.wake_latency().is_empty());
+        assert!(b.trace().is_empty());
     }
 
     #[test]

@@ -54,6 +54,36 @@ pub struct MediumStats {
     pub lost: u64,
 }
 
+/// What happened on the medium (recorded when the event log is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEventKind {
+    /// Endpoint transmitted a frame.
+    Sent,
+    /// Endpoint will receive the frame (after propagation delay).
+    Delivered {
+        /// Transmitting endpoint index.
+        from: usize,
+    },
+    /// Endpoint independently lost the frame.
+    Lost {
+        /// Transmitting endpoint index.
+        from: usize,
+    },
+}
+
+/// One medium event, timestamped in µs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetEvent {
+    /// Transmit time (for `Sent`/`Lost`) or arrival time (`Delivered`).
+    pub at_us: u64,
+    /// The endpoint this event concerns.
+    pub endpoint: usize,
+    /// What happened.
+    pub kind: NetEventKind,
+    /// Frame length in bytes.
+    pub len: usize,
+}
+
 /// The shared broadcast medium.
 #[derive(Debug)]
 pub struct Medium {
@@ -61,6 +91,9 @@ pub struct Medium {
     rng: Rng,
     queues: Vec<VecDeque<Delivery>>,
     stats: MediumStats,
+    /// Per-frame event log (None = disabled, the default: transmit then
+    /// costs no allocation).
+    events: Option<Vec<NetEvent>>,
 }
 
 impl Medium {
@@ -76,7 +109,19 @@ impl Medium {
             rng,
             queues: Vec::new(),
             stats: MediumStats::default(),
+            events: None,
         }
+    }
+
+    /// Enable or disable the per-frame event log (disabled by default;
+    /// disabling clears any recorded events).
+    pub fn set_event_log(&mut self, on: bool) {
+        self.events = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Recorded medium events (empty slice while the log is disabled).
+    pub fn events(&self) -> &[NetEvent] {
+        self.events.as_deref().unwrap_or(&[])
     }
 
     /// Register an endpoint; the returned index identifies it in
@@ -101,6 +146,14 @@ impl Medium {
     pub fn transmit(&mut self, from: usize, at_us: u64, bytes: &[u8]) {
         assert!(from < self.queues.len(), "unknown endpoint {from}");
         self.stats.sent += 1;
+        if let Some(log) = &mut self.events {
+            log.push(NetEvent {
+                at_us,
+                endpoint: from,
+                kind: NetEventKind::Sent,
+                len: bytes.len(),
+            });
+        }
         let arrival = at_us + self.config.propagation_delay_us;
         for idx in 0..self.queues.len() {
             if idx == from {
@@ -108,9 +161,25 @@ impl Medium {
             }
             if self.rng.gen_bool(self.config.loss_probability) {
                 self.stats.lost += 1;
+                if let Some(log) = &mut self.events {
+                    log.push(NetEvent {
+                        at_us,
+                        endpoint: idx,
+                        kind: NetEventKind::Lost { from },
+                        len: bytes.len(),
+                    });
+                }
                 continue;
             }
             self.stats.delivered += 1;
+            if let Some(log) = &mut self.events {
+                log.push(NetEvent {
+                    at_us: arrival,
+                    endpoint: idx,
+                    kind: NetEventKind::Delivered { from },
+                    len: bytes.len(),
+                });
+            }
             self.queues[idx].push_back(Delivery {
                 at_us: arrival,
                 from,
@@ -229,6 +298,52 @@ mod tests {
         assert_eq!(run(1), run(1), "same seed, same outcome");
         let d = run(42);
         assert!((20..80).contains(&d), "roughly half delivered, got {d}");
+    }
+
+    #[test]
+    fn event_log_records_sent_delivered_lost() {
+        let mut m = Medium::new(MediumConfig {
+            loss_probability: 1.0,
+            ..MediumConfig::default()
+        });
+        let a = m.register();
+        let b = m.register();
+        m.set_event_log(true);
+        m.transmit(a, 5, &[1, 2]);
+        let ev = m.events().to_vec();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(
+            ev[0],
+            NetEvent {
+                at_us: 5,
+                endpoint: a,
+                kind: NetEventKind::Sent,
+                len: 2
+            }
+        );
+        assert_eq!(ev[1].kind, NetEventKind::Lost { from: a });
+        assert_eq!(ev[1].endpoint, b);
+        // Disabling clears and stops recording.
+        m.set_event_log(false);
+        m.transmit(a, 6, &[3]);
+        assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn event_log_delivery_carries_arrival_time() {
+        let mut m = Medium::new(MediumConfig {
+            propagation_delay_us: 40,
+            ..MediumConfig::default()
+        });
+        let a = m.register();
+        let b = m.register();
+        m.set_event_log(true);
+        m.transmit(a, 100, &[9; 7]);
+        let ev = m.events();
+        assert_eq!(ev[1].kind, NetEventKind::Delivered { from: a });
+        assert_eq!(ev[1].at_us, 140);
+        assert_eq!(ev[1].endpoint, b);
+        assert_eq!(ev[1].len, 7);
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod frame;
 mod phy;
 mod traffic;
 
-pub use channel::{Delivery, Medium, MediumConfig};
+pub use channel::{Delivery, Medium, MediumConfig, MediumStats, NetEvent, NetEventKind};
 pub use frame::{crc16, Frame, FrameError, FrameType, BROADCAST, MAX_FRAME, MAX_PAYLOAD, MHR_LEN};
 pub use phy::{PhyTiming, SymbolRate};
 pub use traffic::{PeriodicTraffic, PoissonTraffic, TrafficSource};

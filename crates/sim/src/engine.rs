@@ -46,6 +46,16 @@ pub trait Simulatable {
     /// accounting idle time/energy for the skipped span. Only called when
     /// the last [`step`](Simulatable::step) returned [`StepOutcome::Idle`].
     fn skip_to(&mut self, target: Cycles);
+
+    /// Periodic telemetry hook. When an epoch length is configured via
+    /// [`Engine::set_epoch`], the engine calls this once per elapsed epoch
+    /// (in order, with a monotonically increasing `index`), including
+    /// epochs crossed in a single idle-skip. Machines may use it to sample
+    /// windowed metrics such as bus occupancy. The default is a no-op, so
+    /// existing machines are unaffected.
+    fn on_epoch(&mut self, index: u64) {
+        let _ = index;
+    }
 }
 
 /// Statistics from one engine run.
@@ -78,6 +88,13 @@ pub struct Engine<M> {
     machine: M,
     fast_forward: bool,
     lifetime: RunStats,
+    /// Epoch length in cycles for [`Simulatable::on_epoch`] callbacks
+    /// (`None` disables them — the default, costing one branch per step).
+    epoch_len: Option<u64>,
+    /// Absolute cycle at which the next epoch boundary fires.
+    epoch_next: u64,
+    /// Index passed to the next `on_epoch` call.
+    epoch_index: u64,
 }
 
 impl<M: Simulatable> Engine<M> {
@@ -87,6 +104,9 @@ impl<M: Simulatable> Engine<M> {
             machine,
             fast_forward: true,
             lifetime: RunStats::default(),
+            epoch_len: None,
+            epoch_next: 0,
+            epoch_index: 0,
         }
     }
 
@@ -94,6 +114,21 @@ impl<M: Simulatable> Engine<M> {
     /// step for every cycle — useful for validating skip correctness.
     pub fn set_fast_forward(&mut self, enabled: bool) {
         self.fast_forward = enabled;
+    }
+
+    /// Enable periodic [`Simulatable::on_epoch`] callbacks every `len`
+    /// cycles, starting `len` cycles from the machine's current time.
+    /// Epoch boundaries crossed by an idle-skip all fire (in order) right
+    /// after the skip, so epoch counts are identical with and without
+    /// fast-forwarding.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn set_epoch(&mut self, len: Cycles) {
+        assert!(len.0 > 0, "epoch length must be non-zero");
+        self.epoch_len = Some(len.0);
+        self.epoch_next = self.machine.now().0 + len.0;
+        self.epoch_index = 0;
     }
 
     /// Borrow the machine.
@@ -132,27 +167,15 @@ impl<M: Simulatable> Engine<M> {
                 StepOutcome::Halted => {
                     stats.stepped += Cycles(1);
                     stats.halted = true;
+                    self.fire_epochs();
                     break;
                 }
                 StepOutcome::Idle => {
                     stats.stepped += Cycles(1);
-                    if !self.fast_forward {
-                        continue;
-                    }
-                    let now = self.machine.now();
-                    // Jump to the next scheduled activity, clamped to the
-                    // deadline; with no scheduled activity, to the deadline.
-                    let target = match self.machine.next_wakeup() {
-                        Some(w) if w > now => w.min(deadline),
-                        Some(_) => continue, // wakeup due now: keep stepping
-                        None => deadline,
-                    };
-                    if target > now {
-                        self.machine.skip_to(target);
-                        stats.skipped += target - now;
-                    }
+                    self.idle_skip(deadline, &mut stats);
                 }
             }
+            self.fire_epochs();
         }
         self.lifetime.merge(stats);
         stats
@@ -175,31 +198,57 @@ impl<M: Simulatable> Engine<M> {
                 StepOutcome::Halted => {
                     stats.stepped += Cycles(1);
                     stats.halted = true;
+                    self.fire_epochs();
                     break;
                 }
                 StepOutcome::Idle => {
                     stats.stepped += Cycles(1);
-                    if !self.fast_forward {
-                        continue;
-                    }
-                    let now = self.machine.now();
-                    let target = match self.machine.next_wakeup() {
-                        Some(w) if w > now => w.min(deadline),
-                        Some(_) => continue,
-                        None => deadline,
-                    };
-                    if target > now {
-                        self.machine.skip_to(target);
-                        stats.skipped += target - now;
-                    }
+                    self.idle_skip(deadline, &mut stats);
                 }
             }
+            self.fire_epochs();
         }
         if !satisfied && pred(&self.machine) {
             satisfied = true;
         }
         self.lifetime.merge(stats);
         (stats, satisfied)
+    }
+
+    /// The idle-skip fast-forward step, shared by [`run_until_cycle`] and
+    /// [`run_until`] so policy changes (and the epoch machinery) live in
+    /// exactly one place. Jumps to the next scheduled activity, clamped to
+    /// the deadline; with no scheduled activity, to the deadline. A wakeup
+    /// due now (or in the past) means "keep stepping", so nothing happens.
+    ///
+    /// [`run_until_cycle`]: Engine::run_until_cycle
+    /// [`run_until`]: Engine::run_until
+    fn idle_skip(&mut self, deadline: Cycles, stats: &mut RunStats) {
+        if !self.fast_forward {
+            return;
+        }
+        let now = self.machine.now();
+        let target = match self.machine.next_wakeup() {
+            Some(w) if w > now => w.min(deadline),
+            Some(_) => return, // wakeup due now: keep stepping
+            None => deadline,
+        };
+        if target > now {
+            self.machine.skip_to(target);
+            stats.skipped += target - now;
+        }
+    }
+
+    /// Fire every epoch boundary at or before the machine's current time.
+    /// One branch when epochs are disabled (the default).
+    fn fire_epochs(&mut self) {
+        let Some(len) = self.epoch_len else { return };
+        let now = self.machine.now().0;
+        while self.epoch_next <= now {
+            self.machine.on_epoch(self.epoch_index);
+            self.epoch_index += 1;
+            self.epoch_next += len;
+        }
     }
 }
 
@@ -214,6 +263,7 @@ mod tests {
         burst: u64,
         busy_cycles_seen: u64,
         halt_at: Option<u64>,
+        epochs_seen: Vec<u64>,
     }
 
     impl Periodic {
@@ -224,6 +274,7 @@ mod tests {
                 burst,
                 busy_cycles_seen: 0,
                 halt_at: None,
+                epochs_seen: Vec::new(),
             }
         }
         fn busy_at(&self, t: u64) -> bool {
@@ -259,6 +310,9 @@ mod tests {
         fn skip_to(&mut self, target: Cycles) {
             assert!(target > self.now);
             self.now = target;
+        }
+        fn on_epoch(&mut self, index: u64) {
+            self.epochs_seen.push(index);
         }
     }
 
@@ -327,6 +381,38 @@ mod tests {
         e.run_for(Cycles(1_000));
         e.run_for(Cycles(1_000));
         assert_eq!(e.lifetime_stats().total(), Cycles(2_000));
+    }
+
+    #[test]
+    fn epochs_fire_in_order_and_survive_idle_skip() {
+        // 4096 idle cycles per 5-busy burst: idle-skip crosses many epoch
+        // boundaries per skip, and all of them must fire.
+        let mut fast = Engine::new(Periodic::new(1_000, 5));
+        fast.set_epoch(Cycles(64));
+        fast.run_for(Cycles(10_000));
+
+        let mut slow = Engine::new(Periodic::new(1_000, 5));
+        slow.set_fast_forward(false);
+        slow.set_epoch(Cycles(64));
+        slow.run_for(Cycles(10_000));
+
+        let expected: Vec<u64> = (0..10_000 / 64).collect();
+        assert_eq!(fast.machine().epochs_seen, expected);
+        assert_eq!(fast.machine().epochs_seen, slow.machine().epochs_seen);
+    }
+
+    #[test]
+    fn epochs_disabled_by_default() {
+        let mut e = Engine::new(Periodic::new(100, 3));
+        e.run_for(Cycles(10_000));
+        assert!(e.machine().epochs_seen.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_epoch_length_rejected() {
+        let mut e = Engine::new(Periodic::new(100, 3));
+        e.set_epoch(Cycles(0));
     }
 
     #[test]

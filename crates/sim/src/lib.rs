@@ -36,11 +36,13 @@
 pub mod energy;
 pub mod engine;
 pub mod power;
+pub mod telemetry;
 pub mod trace;
 pub mod units;
 
 pub use energy::{ComponentStats, EnergyMeter, MeterId};
 pub use engine::{Engine, RunStats, Simulatable, StepOutcome};
 pub use power::{PowerMode, PowerSpec};
-pub use trace::{TraceBuffer, TraceEvent};
+pub use telemetry::{ChromeTrace, Log2Histogram, Metric, Metrics};
+pub use trace::{EpInsn, OverflowPolicy, TraceBuffer, TraceEvent, TraceKind};
 pub use units::{Cycles, Energy, Frequency, Power, Seconds, Voltage};

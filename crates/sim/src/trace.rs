@@ -1,11 +1,217 @@
-//! Lightweight event tracing.
+//! Typed, lightweight event tracing.
 //!
 //! Traces let tests and the bench harness observe microarchitectural
 //! behaviour (event-processor state transitions, bus transactions, power
-//! switching) without the machine models printing anything themselves.
+//! switching, interrupt flow) without the machine models printing
+//! anything themselves. Events are recorded as a typed [`TraceKind`] —
+//! no `String` is formatted on the hot path — and rendered lazily by the
+//! lossless `Display` implementation, whose output is byte-identical to
+//! the historical string-formatted trace for every pre-existing event
+//! kind.
 
 use crate::units::Cycles;
+use std::collections::VecDeque;
 use std::fmt;
+
+/// Mirror of the event-processor instruction set, carried by
+/// [`TraceKind::EpExecute`] so the kernel crate can render `EXECUTE`
+/// lines without depending on the ISA crate. The `Display` output is
+/// byte-identical to `ulp_isa::ep::Instruction`'s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpInsn {
+    /// `SWITCHON component`.
+    SwitchOn(u8),
+    /// `SWITCHOFF component`.
+    SwitchOff(u8),
+    /// `READ addr` into the temporary register.
+    Read(u16),
+    /// `WRITE addr` from the temporary register.
+    Write(u16),
+    /// `WRITEI addr, value`.
+    WriteI {
+        /// Destination bus address.
+        addr: u16,
+        /// Immediate byte.
+        value: u8,
+    },
+    /// `TRANSFER src, dst, len`.
+    Transfer {
+        /// Source bus address.
+        src: u16,
+        /// Destination bus address.
+        dst: u16,
+        /// Bytes to move.
+        len: u8,
+    },
+    /// `TERMINATE`.
+    Terminate,
+    /// `WAKEUP vector`.
+    Wakeup(u8),
+}
+
+impl fmt::Display for EpInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpInsn::SwitchOn(c) => write!(f, "switchon {c}"),
+            EpInsn::SwitchOff(c) => write!(f, "switchoff {c}"),
+            EpInsn::Read(a) => write!(f, "read 0x{a:04X}"),
+            EpInsn::Write(a) => write!(f, "write 0x{a:04X}"),
+            EpInsn::WriteI { addr, value } => write!(f, "writei 0x{addr:04X}, {value}"),
+            EpInsn::Transfer { src, dst, len } => {
+                write!(f, "transfer 0x{src:04X}, 0x{dst:04X}, {len}")
+            }
+            EpInsn::Terminate => write!(f, "terminate"),
+            EpInsn::Wakeup(v) => write!(f, "wakeup {v}"),
+        }
+    }
+}
+
+/// What happened, as structured data. The `Display` implementation is
+/// lossless and, for the kinds that existed before the typed layer,
+/// renders the exact legacy strings — golden output does not change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Event processor took an interrupt and started the vector lookup.
+    EpLookup {
+        /// The dispatched interrupt id.
+        irq: u8,
+    },
+    /// Event processor resolved the ISR address and starts fetching.
+    EpFetch {
+        /// The ISR byte address.
+        isr: u16,
+    },
+    /// Event processor begins executing one ISR instruction.
+    EpExecute {
+        /// The decoded instruction.
+        insn: EpInsn,
+    },
+    /// ISR finished with `TERMINATE`; the EP returned to `READY`.
+    EpTerminate,
+    /// ISR finished with `WAKEUP`; the EP returned to `READY` and hands
+    /// off to the microcontroller.
+    EpWakeupMcu {
+        /// Microcontroller handler byte address.
+        handler: u16,
+    },
+    /// An interrupt line was asserted (accepted by the arbiter).
+    IrqAssert {
+        /// The interrupt id.
+        irq: u8,
+    },
+    /// The arbiter granted an interrupt to a master.
+    IrqDispatch {
+        /// The interrupt id.
+        irq: u8,
+        /// Cycles the interrupt waited between assert and dispatch.
+        waited: u64,
+    },
+    /// A bus read performed by an ISR.
+    BusRead {
+        /// Bus address.
+        addr: u16,
+        /// Value read.
+        value: u8,
+    },
+    /// A bus write performed by an ISR.
+    BusWrite {
+        /// Bus address.
+        addr: u16,
+        /// Value written.
+        value: u8,
+    },
+    /// A component was switched on via the power-control bus.
+    PowerOn {
+        /// Component name.
+        component: &'static str,
+    },
+    /// A component was switched off via the power-control bus.
+    PowerOff {
+        /// Component name.
+        component: &'static str,
+    },
+    /// An SRAM bank left the gated state (wake handshake started).
+    SramBankWake {
+        /// Bank index.
+        bank: u8,
+    },
+    /// An SRAM bank was Vdd-gated (contents lost).
+    SramBankGate {
+        /// Bank index.
+        bank: u8,
+    },
+    /// The radio began transmitting a frame.
+    RadioTxStart,
+    /// The radio finished transmitting a frame.
+    RadioTxDone {
+        /// Frame length in bytes.
+        len: u8,
+    },
+    /// A frame from the medium was delivered into the receive buffer.
+    RadioRxDelivered,
+    /// The microcontroller was woken by the event processor.
+    McuWake {
+        /// Handler byte address.
+        handler: u16,
+        /// Interrupt id that caused the wakeup.
+        cause: u8,
+    },
+    /// The microcontroller gated itself off.
+    McuSleep,
+    /// A static annotation (no formatting cost).
+    Note(&'static str),
+    /// A pre-formatted annotation (escape hatch; allocates).
+    Text(String),
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::EpLookup { irq } => write!(f, "LOOKUP irq={irq}"),
+            TraceKind::EpFetch { isr } => write!(f, "FETCH isr=0x{isr:04X}"),
+            TraceKind::EpExecute { insn } => write!(f, "EXECUTE {insn}"),
+            TraceKind::EpTerminate => write!(f, "READY (terminate)"),
+            TraceKind::EpWakeupMcu { handler } => {
+                write!(f, "READY (wakeup µC @0x{handler:04X})")
+            }
+            TraceKind::IrqAssert { irq } => write!(f, "assert irq={irq}"),
+            TraceKind::IrqDispatch { irq, waited } => {
+                write!(f, "dispatch irq={irq} after {waited} cycles")
+            }
+            TraceKind::BusRead { addr, value } => {
+                write!(f, "read 0x{addr:04X} -> 0x{value:02X}")
+            }
+            TraceKind::BusWrite { addr, value } => {
+                write!(f, "write 0x{addr:04X} <- 0x{value:02X}")
+            }
+            TraceKind::PowerOn { component } => write!(f, "on {component}"),
+            TraceKind::PowerOff { component } => write!(f, "off {component}"),
+            TraceKind::SramBankWake { bank } => write!(f, "bank {bank} wake"),
+            TraceKind::SramBankGate { bank } => write!(f, "bank {bank} gated"),
+            TraceKind::RadioTxStart => write!(f, "tx start"),
+            TraceKind::RadioTxDone { len } => write!(f, "tx done ({len} bytes)"),
+            TraceKind::RadioRxDelivered => write!(f, "rx frame delivered"),
+            TraceKind::McuWake { handler, cause } => {
+                write!(f, "wakeup @0x{handler:04X} (irq {cause})")
+            }
+            TraceKind::McuSleep => write!(f, "sleep (Vdd-gated)"),
+            TraceKind::Note(s) => f.write_str(s),
+            TraceKind::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<&'static str> for TraceKind {
+    fn from(s: &'static str) -> Self {
+        TraceKind::Note(s)
+    }
+}
+
+impl From<String> for TraceKind {
+    fn from(s: String) -> Self {
+        TraceKind::Text(s)
+    }
+}
 
 /// One recorded trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,18 +220,59 @@ pub struct TraceEvent {
     pub at: Cycles,
     /// Originating component (static so tracing stays allocation-light).
     pub component: &'static str,
-    /// Human-readable description.
-    pub detail: String,
+    /// The structured event.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// The human-readable description (the `Display` of the kind).
+    pub fn detail(&self) -> String {
+        self.kind.to_string()
+    }
+
+    fn fmt_width(&self, f: &mut fmt::Formatter<'_>, width: usize) -> fmt::Result {
+        write!(
+            f,
+            "[{:>width$}] {:<12} {}",
+            self.at.0,
+            self.component,
+            self.kind,
+            width = width
+        )
+    }
+}
+
+fn cycle_digits(v: u64) -> usize {
+    let mut digits = 1;
+    let mut v = v;
+    while v >= 10 {
+        v /= 10;
+        digits += 1;
+    }
+    digits
 }
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:>10}] {:<12} {}",
-            self.at.0, self.component, self.detail
-        )
+        // Historically the cycle field was `{:>10}`, which silently
+        // misaligned once a multi-month lifetime run crossed 10^10
+        // cycles. The width now grows with the value (never below the
+        // historical 10), so output for short runs is byte-identical
+        // and long runs stay parseable.
+        self.fmt_width(f, cycle_digits(self.at.0).max(10))
     }
+}
+
+/// How a full [`TraceBuffer`] treats new events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Keep the *first* `capacity` events; count later ones as dropped
+    /// (the historical behaviour — best for "how did it start?").
+    #[default]
+    DropNewest,
+    /// Ring buffer: evict the oldest event to make room; count each
+    /// eviction as dropped (best for post-mortems — "how did it end?").
+    KeepNewest,
 }
 
 /// A bounded in-memory trace buffer. Disabled by default so the hot path
@@ -34,17 +281,19 @@ impl fmt::Display for TraceEvent {
 pub struct TraceBuffer {
     enabled: bool,
     capacity: usize,
-    events: Vec<TraceEvent>,
+    policy: OverflowPolicy,
+    events: VecDeque<TraceEvent>,
     dropped: u64,
 }
 
 impl TraceBuffer {
-    /// A disabled buffer with the given capacity.
+    /// A disabled buffer with the given capacity (drop-newest policy).
     pub fn new(capacity: usize) -> TraceBuffer {
         TraceBuffer {
             enabled: false,
             capacity,
-            events: Vec::new(),
+            policy: OverflowPolicy::default(),
+            events: VecDeque::new(),
             dropped: 0,
         }
     }
@@ -59,34 +308,68 @@ impl TraceBuffer {
         self.enabled
     }
 
-    /// Record an event if enabled; beyond capacity, events are counted as
-    /// dropped rather than silently lost.
-    pub fn record(&mut self, at: Cycles, component: &'static str, detail: impl Into<String>) {
+    /// Select the overflow policy.
+    pub fn set_policy(&mut self, policy: OverflowPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Record an event if enabled. At capacity, [`OverflowPolicy`]
+    /// decides whether the new or the oldest event is lost; either way
+    /// the loss is counted, not silent.
+    pub fn record(&mut self, at: Cycles, component: &'static str, kind: impl Into<TraceKind>) {
         if !self.enabled {
             return;
         }
         if self.events.len() >= self.capacity {
             self.dropped += 1;
-            return;
+            match self.policy {
+                OverflowPolicy::DropNewest => return,
+                OverflowPolicy::KeepNewest => {
+                    if self.events.pop_front().is_none() {
+                        return; // zero capacity: nothing can be kept
+                    }
+                }
+            }
         }
-        self.events.push(TraceEvent {
+        self.events.push_back(TraceEvent {
             at,
             component,
-            detail: detail.into(),
+            kind: kind.into(),
         });
     }
 
     /// Recorded events in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
     }
 
-    /// Number of events dropped due to the capacity limit.
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The `i`-th retained event.
+    pub fn get(&self, i: usize) -> Option<&TraceEvent> {
+        self.events.get(i)
+    }
+
+    /// Number of events lost to the capacity limit (whether the new or
+    /// the oldest event was discarded, per the policy).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// Clear all recorded events (keeps the enabled flag).
+    /// Clear all recorded events (keeps the enabled flag and policy).
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
@@ -98,6 +381,31 @@ impl TraceBuffer {
         component: &'a str,
     ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
         self.events.iter().filter(move |e| e.component == component)
+    }
+
+    /// The whole buffer as one aligned listing: every line's cycle field
+    /// uses the buffer-wide maximum digit width (minimum 10), so columns
+    /// stay aligned even when late events cross 10^10 cycles.
+    pub fn listing(&self) -> String {
+        let width = self
+            .events
+            .iter()
+            .map(|e| cycle_digits(e.at.0))
+            .max()
+            .unwrap_or(0)
+            .max(10);
+        struct Aligned<'a>(&'a TraceEvent, usize);
+        impl fmt::Display for Aligned<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt_width(f, self.1)
+            }
+        }
+        let mut out = String::new();
+        for e in &self.events {
+            use fmt::Write as _;
+            let _ = writeln!(out, "{}", Aligned(e, width));
+        }
+        out
     }
 }
 
@@ -114,8 +422,8 @@ mod tests {
     #[test]
     fn disabled_buffer_records_nothing() {
         let mut t = TraceBuffer::new(4);
-        t.record(Cycles(1), "ep", "LOOKUP");
-        assert!(t.events().is_empty());
+        t.record(Cycles(1), "ep", TraceKind::EpLookup { irq: 0 });
+        assert!(t.is_empty());
     }
 
     #[test]
@@ -123,10 +431,17 @@ mod tests {
         let mut t = TraceBuffer::new(4);
         t.set_enabled(true);
         assert!(t.is_enabled());
-        t.record(Cycles(1), "ep", "LOOKUP");
-        t.record(Cycles(2), "bus", "read 0x1000");
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[0].component, "ep");
+        t.record(Cycles(1), "ep", TraceKind::EpLookup { irq: 3 });
+        t.record(
+            Cycles(2),
+            "bus",
+            TraceKind::BusRead {
+                addr: 0x1000,
+                value: 9,
+            },
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0).unwrap().component, "ep");
         assert_eq!(t.from_component("bus").count(), 1);
     }
 
@@ -136,23 +451,144 @@ mod tests {
         t.set_enabled(true);
         t.record(Cycles(1), "a", "x");
         t.record(Cycles(2), "a", "y");
-        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0).unwrap().at, Cycles(1), "drop-newest keeps head");
         assert_eq!(t.dropped(), 1);
         t.clear();
         assert_eq!(t.dropped(), 0);
-        assert!(t.events().is_empty());
+        assert!(t.is_empty());
     }
 
     #[test]
-    fn display_format() {
+    fn ring_policy_keeps_newest_and_counts_evictions() {
+        let mut t = TraceBuffer::new(3);
+        t.set_enabled(true);
+        t.set_policy(OverflowPolicy::KeepNewest);
+        for i in 0..10u64 {
+            t.record(Cycles(i), "a", "e");
+        }
+        assert_eq!(t.len(), 3);
+        let kept: Vec<u64> = t.events().map(|e| e.at.0).collect();
+        assert_eq!(kept, vec![7, 8, 9], "the *end* of the run survives");
+        assert_eq!(t.dropped(), 7, "each eviction is accounted");
+    }
+
+    #[test]
+    fn ring_policy_with_zero_capacity_drops_everything() {
+        let mut t = TraceBuffer::new(0);
+        t.set_enabled(true);
+        t.set_policy(OverflowPolicy::KeepNewest);
+        for i in 0..5u64 {
+            t.record(Cycles(i), "a", "e");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 5);
+    }
+
+    #[test]
+    fn display_format_matches_legacy_strings() {
         let e = TraceEvent {
             at: Cycles(42),
             component: "ep",
-            detail: "EXECUTE TERMINATE".into(),
+            kind: TraceKind::EpExecute {
+                insn: EpInsn::Terminate,
+            },
         };
-        let s = e.to_string();
-        assert!(s.contains("42"));
-        assert!(s.contains("ep"));
-        assert!(s.contains("TERMINATE"));
+        assert_eq!(e.to_string(), "[        42] ep           EXECUTE terminate");
+        let w = TraceEvent {
+            at: Cycles(7),
+            component: "mcu",
+            kind: TraceKind::McuWake {
+                handler: 0x0400,
+                cause: 18,
+            },
+        };
+        assert_eq!(
+            w.to_string(),
+            "[         7] mcu          wakeup @0x0400 (irq 18)"
+        );
+        assert_eq!(
+            TraceKind::EpWakeupMcu { handler: 0x0400 }.to_string(),
+            "READY (wakeup µC @0x0400)"
+        );
+        assert_eq!(TraceKind::EpLookup { irq: 5 }.to_string(), "LOOKUP irq=5");
+        assert_eq!(
+            TraceKind::EpFetch { isr: 0x0200 }.to_string(),
+            "FETCH isr=0x0200"
+        );
+        assert_eq!(TraceKind::EpTerminate.to_string(), "READY (terminate)");
+        assert_eq!(TraceKind::McuSleep.to_string(), "sleep (Vdd-gated)");
+        assert_eq!(
+            TraceKind::RadioRxDelivered.to_string(),
+            "rx frame delivered"
+        );
+    }
+
+    #[test]
+    fn ep_insn_display_matches_isa_syntax() {
+        assert_eq!(EpInsn::SwitchOn(4).to_string(), "switchon 4");
+        assert_eq!(EpInsn::SwitchOff(15).to_string(), "switchoff 15");
+        assert_eq!(EpInsn::Read(0x1401).to_string(), "read 0x1401");
+        assert_eq!(EpInsn::Write(0x1202).to_string(), "write 0x1202");
+        assert_eq!(
+            EpInsn::WriteI {
+                addr: 0x1200,
+                value: 1
+            }
+            .to_string(),
+            "writei 0x1200, 1"
+        );
+        assert_eq!(
+            EpInsn::Transfer {
+                src: 0x1280,
+                dst: 0x1340,
+                len: 12
+            }
+            .to_string(),
+            "transfer 0x1280, 0x1340, 12"
+        );
+        assert_eq!(EpInsn::Wakeup(2).to_string(), "wakeup 2");
+    }
+
+    #[test]
+    fn eleven_digit_cycle_counts_stay_aligned() {
+        // Regression: the fixed `{:>10}` field silently misaligned once
+        // cycle counts crossed 10 digits (a ~month at 4 MHz). Single-event
+        // display now widens, and `listing()` aligns the whole buffer.
+        let big = TraceEvent {
+            at: Cycles(123_456_789_012),
+            component: "ep",
+            kind: TraceKind::EpTerminate,
+        };
+        let s = big.to_string();
+        assert!(
+            s.starts_with("[123456789012] "),
+            "no truncation/shift: {s}"
+        );
+
+        let mut t = TraceBuffer::new(8);
+        t.set_enabled(true);
+        t.record(Cycles(5), "ep", TraceKind::EpTerminate);
+        t.record(Cycles(123_456_789_012), "mcu", TraceKind::McuSleep);
+        let listing = t.listing();
+        let cols: Vec<usize> = listing
+            .lines()
+            .map(|l| l.find(']').expect("bracketed cycle field"))
+            .collect();
+        assert_eq!(cols[0], cols[1], "columns aligned:\n{listing}");
+        assert!(listing.lines().all(|l| l.starts_with('[')));
+    }
+
+    #[test]
+    fn small_cycle_listing_matches_display() {
+        // For ≤10-digit cycles the aligned listing and per-event Display
+        // agree byte-for-byte (golden stability).
+        let mut t = TraceBuffer::new(4);
+        t.set_enabled(true);
+        t.record(Cycles(42), "ep", TraceKind::EpLookup { irq: 1 });
+        t.record(Cycles(9_999_999_999), "ep", TraceKind::EpTerminate);
+        let listing = t.listing();
+        let by_display: String = t.events().map(|e| format!("{e}\n")).collect();
+        assert_eq!(listing, by_display);
     }
 }

@@ -114,16 +114,16 @@ fn trace_buffer_saturates_and_counts_overflow() {
     }
     // The first `capacity` events are retained in order; the rest are
     // counted, not silently lost and not wrapping over the prefix.
-    assert_eq!(t.events().len(), 8);
+    assert_eq!(t.len(), 8);
     assert_eq!(t.dropped(), 992);
-    assert_eq!(t.events()[0].at, Cycles(0));
-    assert_eq!(t.events()[7].at, Cycles(7));
+    assert_eq!(t.get(0).unwrap().at, Cycles(0));
+    assert_eq!(t.get(7).unwrap().at, Cycles(7));
     // Clearing arms it again.
     t.clear();
     assert_eq!(t.dropped(), 0);
     t.record(Cycles(5000), "bus", "read");
-    assert_eq!(t.events().len(), 1);
-    assert_eq!(t.events()[0].at, Cycles(5000));
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.get(0).unwrap().at, Cycles(5000));
 }
 
 #[test]
@@ -133,7 +133,7 @@ fn zero_capacity_trace_buffer_drops_everything() {
     for i in 0..10u64 {
         t.record(Cycles(i), "ep", "x");
     }
-    assert!(t.events().is_empty());
+    assert!(t.is_empty());
     assert_eq!(t.dropped(), 10);
     assert_eq!(t.from_component("ep").count(), 0);
 }
@@ -149,7 +149,7 @@ fn disabled_trace_buffer_counts_nothing_at_capacity() {
     for i in 0..100u64 {
         t.record(Cycles(i), "a", "ignored");
     }
-    assert_eq!(t.events().len(), 1);
+    assert_eq!(t.len(), 1);
     assert_eq!(t.dropped(), 0);
 }
 

@@ -24,6 +24,18 @@ cargo test -q --workspace --offline
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== telemetry trace dumper: deterministic + well-formed JSON =="
+# --check runs the workload twice, asserts the Perfetto JSON / CSV /
+# summary artifacts are byte-identical, and validates the JSON with the
+# in-tree parser (ulp_sim::telemetry::validate_json).
+trace_out=$(mktemp -d)
+trap 'rm -rf "$trace_out"' EXIT
+cargo run -q -p ulp-bench --bin trace --offline -- \
+  --app stage4 --cycles 60000 --out "$trace_out/trace.json" --check > /dev/null
+test -s "$trace_out/trace.json"
+cargo run -q -p ulp-bench --bin trace --offline -- \
+  --app mica2 --cycles 120000 --check > /dev/null
+
 echo "== dependency closure must be in-tree only =="
 external=$(cargo tree --workspace --edges normal,build --prefix none --offline \
   | awk '{print $1}' | sort -u | grep -v '^ulp-' || true)

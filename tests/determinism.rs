@@ -61,7 +61,7 @@ fn ulp_stage4_double_run_is_bit_identical() {
         engine.run_for(Cycles(250_000));
         let mut sys = engine.into_machine();
         assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
-        let trace = digest_lines(sys.trace().events().iter().map(|e| e.to_string()));
+        let trace = digest_lines(sys.trace().events().map(|e| e.to_string()));
         let outbox = digest_lines(
             sys.take_outbox()
                 .into_iter()
@@ -191,6 +191,77 @@ fn multihop_lossy_cosim_double_run_is_bit_identical() {
     assert!(a.1 > 0, "nodes must transmit");
     assert!(a.3 > 0, "a 10% channel over this horizon must lose frames");
     assert!(!a.0.is_empty(), "the flood must reach the base station");
+}
+
+// ---------------------------------------------------------------------
+// 4. Telemetry exports
+// ---------------------------------------------------------------------
+
+/// Count column of a histogram row in a metrics summary table.
+fn hist_count(summary: &str, name: &str) -> u64 {
+    let row = summary
+        .lines()
+        .find(|l| l.starts_with(name))
+        .unwrap_or_else(|| panic!("no `{name}` row in summary:\n{summary}"));
+    let mut cols = row.split_whitespace();
+    assert_eq!(cols.nth(1), Some("histogram"), "`{name}` is not a histogram");
+    cols.next().expect("count column").parse().expect("count")
+}
+
+/// The full observability surface — Perfetto JSON, CSV timeline, metrics
+/// summary — must be byte-identical across same-seed runs for every
+/// reference workload, and the latency histograms the paper's
+/// EP-vs-microcontroller comparison rests on must actually populate.
+#[test]
+fn telemetry_exports_are_bit_identical_and_populated() {
+    use ulp_bench::tracegen;
+    for (app, horizon) in [("stage4", 60_000u64), ("mica2", 120_000), ("net", 20_000)] {
+        let seed = tracegen::default_seed(app);
+        let a = tracegen::run(app, horizon, seed);
+        let b = tracegen::run(app, horizon, seed);
+        assert_eq!(a.json, b.json, "{app}: JSON export must be bit-identical");
+        assert_eq!(a.csv, b.csv, "{app}: CSV export must be bit-identical");
+        assert_eq!(a.summary, b.summary, "{app}: summary must be bit-identical");
+    }
+    // The two boards the paper compares both measure event service.
+    let ulp = tracegen::stage4(60_000, tracegen::default_seed("stage4"));
+    assert!(hist_count(&ulp.summary, "irq.service_latency") > 0);
+    assert!(hist_count(&ulp.summary, "mcu.wake_latency") > 0);
+    let mica = tracegen::mica2(120_000, tracegen::default_seed("mica2"));
+    assert!(hist_count(&mica.summary, "irq.service_latency") > 0);
+    assert!(hist_count(&mica.summary, "mcu.wake_latency") > 0);
+}
+
+/// Telemetry is an observer, not a participant: running the stage-4
+/// workload with every probe enabled must leave the simulated machine
+/// in exactly the state a probe-free run reaches.
+#[test]
+fn telemetry_probes_do_not_perturb_the_simulation() {
+    let run = |instrumented: bool| {
+        let prog = stages::app4(SamplePeriod::Cycles(2_000), 40);
+        let mut sys = prog.build_system(
+            SystemConfig::default(),
+            Box::new(RandomWalkSensor::new(128, 0xD5)),
+        );
+        if instrumented {
+            sys.trace_mut().set_enabled(true);
+            sys.set_telemetry(true);
+        }
+        let mut engine = Engine::new(sys);
+        if instrumented {
+            engine.set_epoch(Cycles(4_096));
+        }
+        engine.run_for(Cycles(120_000));
+        let sys = engine.into_machine();
+        (
+            sys.now(),
+            sys.busy_cycles(),
+            sys.mcu().stats().wakeups,
+            sys.slaves().radio.stats().transmitted,
+            sys.meter().total_energy().joules().to_bits(),
+        )
+    };
+    assert_eq!(run(false), run(true), "observer effect detected");
 }
 
 #[test]

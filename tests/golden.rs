@@ -112,3 +112,23 @@ fn fig6_csv_is_pinned() {
     // series is reproducible without a measurement pass.
     assert_golden("fig6.csv", &ulp_bench::report::fig6_csv(1532));
 }
+
+#[test]
+fn telemetry_exports_are_pinned() {
+    // The observability layer's exports are part of the repo's contract:
+    // the CSV timeline and metrics summaries must stay byte-stable, and
+    // the Perfetto JSON must stay well-formed (the JSON itself is too
+    // bulky to pin, so it is validated structurally instead).
+    use ulp_bench::tracegen;
+    let validate = |json: &str| {
+        ulp_node::sim::telemetry::validate_json(json)
+            .unwrap_or_else(|e| panic!("exported trace JSON is malformed: {e}"));
+    };
+    let ulp = tracegen::stage4(60_000, tracegen::default_seed("stage4"));
+    validate(&ulp.json);
+    assert_golden("trace_stage4.csv", &ulp.csv);
+    assert_golden("trace_stage4_summary.txt", &ulp.summary);
+    let mica = tracegen::mica2(120_000, tracegen::default_seed("mica2"));
+    validate(&mica.json);
+    assert_golden("trace_mica2_summary.txt", &mica.summary);
+}
