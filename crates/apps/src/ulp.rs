@@ -97,6 +97,10 @@ pub struct UlpProgram {
     power_on: Vec<u8>,
     auto_prepare: u8,
     stage: AppStage,
+    /// `(irq, component)` pairs: the ISR on `irq` intentionally leaves
+    /// `component` powered for a later ISR in the chain (declared so the
+    /// static checker does not flag the hand-off as an energy leak).
+    handoffs: Vec<(u8, u8)>,
 }
 
 impl UlpProgram {
@@ -111,6 +115,58 @@ impl UlpProgram {
         self.stage
     }
 
+    /// The event-processor ISRs of this program: `(irq, origin, bytes)`
+    /// in vector-installation order.
+    pub fn ep_isrs(&self) -> Vec<(u8, u16, &[u8])> {
+        self.ep_vectors
+            .iter()
+            .filter_map(|(irq, addr)| {
+                self.images
+                    .iter()
+                    .find(|(origin, _)| origin == addr)
+                    .map(|(origin, bytes)| (*irq, *origin, bytes.as_slice()))
+            })
+            .collect()
+    }
+
+    /// Statically check every EP ISR with `ulp-verify`, one report per
+    /// installed vector.
+    ///
+    /// The check contexts encode what `install` actually does: components
+    /// in `power_on` and a listening radio are assumed on at entry, the
+    /// sampling period is the WCET budget, and declared hand-offs (a
+    /// component one ISR powers for the next in the chain) are exempt
+    /// from the left-on-at-exit lint.
+    pub fn check(&self) -> Vec<ulp_verify::Report> {
+        use ulp_verify::{check_isr, CheckContext, PowerState};
+        self.ep_isrs()
+            .into_iter()
+            .map(|(irq, origin, bytes)| {
+                let name = map::irq_name(irq)
+                    .map(|n| n.to_ascii_lowercase())
+                    .unwrap_or_else(|| format!("irq{irq}"));
+                let mut ctx = CheckContext::system_reset(&name)
+                    .with_irq(irq)
+                    .with_isr_addr(origin);
+                if let Some(period) = self.period {
+                    ctx = ctx.with_budget(period.cycles());
+                }
+                for id in &self.power_on {
+                    ctx = ctx.assume(*id, PowerState::On);
+                }
+                if self.radio_listen {
+                    ctx = ctx.assume(Component::Radio as u8, PowerState::On);
+                }
+                for (from_irq, component) in &self.handoffs {
+                    if *from_irq == irq {
+                        ctx = ctx.allow_left_on(*component);
+                    }
+                }
+                check_isr(bytes, &ctx)
+            })
+            .collect()
+    }
+
     /// Build a system with this program installed.
     pub fn build_system(
         &self,
@@ -123,7 +179,31 @@ impl UlpProgram {
     }
 
     /// Install images, vectors, and peripheral configuration.
+    ///
+    /// In debug builds every EP ISR is run through the static checker
+    /// first; an error-severity finding is a bug in the program builder,
+    /// so it panics with the rendered report. WCET overruns are exempt:
+    /// deliberately saturating the event fabric is a legitimate
+    /// experiment (§4.2.4 — "events will simply be dropped"), the
+    /// system degrades rather than faults.
     pub fn install(&self, sys: &mut System) {
+        #[cfg(debug_assertions)]
+        for report in self.check() {
+            let hard_errors = report
+                .diags
+                .iter()
+                .filter(|d| {
+                    d.class.severity() == ulp_verify::Severity::Error
+                        && d.class != ulp_verify::DiagClass::WcetOverrun
+                })
+                .count();
+            assert_eq!(
+                hard_errors,
+                0,
+                "EP ISR fails static check:\n{}",
+                report.render()
+            );
+        }
         for (origin, bytes) in &self.images {
             sys.load(*origin, bytes);
         }
@@ -193,7 +273,7 @@ pub fn monitoring(cfg: &MonitoringConfig) -> UlpProgram {
     let mut mcu_vectors = Vec::new();
     let mut origin = EP_CODE_BASE;
     let mut add_isr = |isr: &[I], irq: u8, images: &mut Vec<(u16, Vec<u8>)>| {
-        let bytes = encode_program(isr);
+        let bytes = encode_program(isr).expect("EP program encodes");
         let at = origin;
         origin += bytes.len() as u16;
         images.push((at, bytes));
@@ -253,8 +333,14 @@ pub fn monitoring(cfg: &MonitoringConfig) -> UlpProgram {
     // ISR: message ready → move the frame to the radio and transmit.
     // TRANSFER length is static (the EP has no ALU): header + batch + FCS.
     let tx_len = (ulp_net::MHR_LEN + cfg.samples_per_packet as usize + 2) as u8;
-    let mut isr_ready = vec![
-        I::SwitchOn(radio),
+    // A listening radio is already powered (install leaves it in RX), so
+    // the SWITCHON would be a redundant no-op burning fetch cycles.
+    let mut isr_ready = if listens {
+        Vec::new()
+    } else {
+        vec![I::SwitchOn(radio)]
+    };
+    isr_ready.extend([
         I::Read(map::MSG_BASE + map::MSG_TX_LEN),
         I::Write(map::RADIO_BASE + map::RADIO_TX_LEN),
         I::Transfer {
@@ -262,7 +348,7 @@ pub fn monitoring(cfg: &MonitoringConfig) -> UlpProgram {
             dst: map::RADIO_TX_BUF,
             len: tx_len,
         },
-    ];
+    ]);
     if !msg_always_on {
         isr_ready.push(I::SwitchOff(msgproc));
     }
@@ -290,9 +376,10 @@ pub fn monitoring(cfg: &MonitoringConfig) -> UlpProgram {
     add_isr(&isr_txdone, Irq::RadioTxDone.id(), &mut images);
 
     if listens {
-        // ISR: frame received → hand it to the message processor.
+        // ISR: frame received → hand it to the message processor. Relay
+        // configurations keep the message processor powered (see
+        // `msg_always_on` above), so no SWITCHON is needed here.
         let isr_rx = vec![
-            I::SwitchOn(msgproc),
             I::Read(map::RADIO_BASE + map::RADIO_RX_LEN),
             I::Write(map::MSG_BASE + map::MSG_RX_LEN),
             I::Transfer {
@@ -363,6 +450,25 @@ pub fn monitoring(cfg: &MonitoringConfig) -> UlpProgram {
             0
         },
         stage: cfg.stage,
+        handoffs: {
+            let mut handoffs = Vec::new();
+            if !msg_always_on {
+                // The sample-delivery ISR powers the message processor
+                // and hands it to the MsgReady ISR (which gates it off).
+                let deliverer = if filtered {
+                    Irq::FilterPass.id()
+                } else {
+                    timer_irq
+                };
+                handoffs.push((deliverer, Component::MsgProc as u8));
+            }
+            if !listens {
+                // MsgReady powers the radio for the transmission; the
+                // RadioTxDone ISR gates it off afterwards.
+                handoffs.push((Irq::MsgReady.id(), Component::Radio as u8));
+            }
+            handoffs
+        },
     }
 }
 
@@ -424,7 +530,7 @@ pub fn blink(period: u16) -> UlpProgram {
             value: 1,
         },
         I::Terminate,
-    ]);
+    ]).unwrap();
     UlpProgram {
         images: vec![(EP_CODE_BASE, isr)],
         ep_vectors: vec![(Irq::Timer0.id(), EP_CODE_BASE)],
@@ -435,6 +541,7 @@ pub fn blink(period: u16) -> UlpProgram {
         power_on: Vec::new(),
         auto_prepare: 0,
         stage: AppStage::Blink,
+        handoffs: Vec::new(),
     }
 }
 
@@ -453,7 +560,7 @@ pub fn sense(period: u16) -> UlpProgram {
             value: 1,
         },
         I::Terminate,
-    ]);
+    ]).unwrap();
     UlpProgram {
         images: vec![(EP_CODE_BASE, isr)],
         ep_vectors: vec![(Irq::Timer0.id(), EP_CODE_BASE)],
@@ -464,6 +571,7 @@ pub fn sense(period: u16) -> UlpProgram {
         power_on: Vec::new(),
         auto_prepare: 0,
         stage: AppStage::Sense,
+        handoffs: Vec::new(),
     }
 }
 
@@ -694,6 +802,44 @@ mod tests {
             (15.0..=35.0).contains(&per_event),
             "sense costs {per_event} cycles/event; paper says 24"
         );
+    }
+
+    #[test]
+    fn every_shipped_isr_checks_clean() {
+        let programs: Vec<(&str, UlpProgram)> = vec![
+            ("app1", stages::app1(SamplePeriod::Cycles(2000))),
+            ("app2", stages::app2(SamplePeriod::Cycles(2000), 50)),
+            ("app3", stages::app3(SamplePeriod::Cycles(50_000), 0)),
+            ("app4", stages::app4(SamplePeriod::Cycles(10_000), 10)),
+            (
+                "app1-batched",
+                monitoring(&MonitoringConfig {
+                    stage: AppStage::SampleSend,
+                    period: SamplePeriod::Cycles(1000),
+                    samples_per_packet: 5,
+                    threshold: 0,
+                }),
+            ),
+            (
+                "app1-chained",
+                stages::app1(SamplePeriod::Chained {
+                    base: 10_000,
+                    count: 700,
+                }),
+            ),
+            ("blink", blink(500)),
+            ("sense", sense(500)),
+        ];
+        for (label, prog) in &programs {
+            for report in prog.check() {
+                assert!(
+                    report.is_clean(),
+                    "{label}/{}: not clean\n{}",
+                    report.name,
+                    report.render()
+                );
+            }
+        }
     }
 
     #[test]

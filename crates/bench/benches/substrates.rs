@@ -63,7 +63,7 @@ fn main() {
         });
 
     let program = ep_program();
-    let bytes = encode_program(&program);
+    let bytes = encode_program(&program).unwrap();
     h.group("ep_codec")
         .throughput(Throughput::Bytes(bytes.len() as u64))
         .bench("encode", || encode_program(&program))
@@ -113,7 +113,7 @@ mod with_criterion {
 
     fn bench_ep_codec(c: &mut Criterion) {
         let program = ep_program();
-        let bytes = encode_program(&program);
+        let bytes = encode_program(&program).unwrap();
         let mut g = c.benchmark_group("ep_codec");
         g.throughput(Throughput::Bytes(bytes.len() as u64));
         g.bench_function("encode", |b| b.iter(|| encode_program(&program)));

@@ -44,18 +44,18 @@ fn baseline() -> (Power, u64) {
 fn mcu_only() -> (Power, u64) {
     let mut sys = System::new(SystemConfig::default(), Box::new(ConstSensor(99)));
     // EP: timer → wake µC at vector 0; tx-done → power radio down.
-    let isr_timer = encode_program(&[I::Wakeup(0)]);
+    let isr_timer = encode_program(&[I::Wakeup(0)]).unwrap();
     let isr_txdone = encode_program(&[
         I::SwitchOff(ulp_isa::ep::ComponentId::new(Component::Radio as u8).unwrap()),
         I::Terminate,
-    ]);
+    ]).unwrap();
     sys.load(0x0100, &isr_timer);
     sys.load(0x0110, &isr_txdone);
     sys.install_ep_isr(Irq::Timer0.id(), 0x0100);
     sys.install_ep_isr(Irq::RadioTxDone.id(), 0x0110);
     // The µC polls the busy bit itself, so the message processor's
     // ready interrupt just needs discarding.
-    let isr_noop = encode_program(&[I::Terminate]);
+    let isr_noop = encode_program(&[I::Terminate]).unwrap();
     sys.load(0x0120, &isr_noop);
     sys.install_ep_isr(Irq::MsgReady.id(), 0x0120);
 

@@ -1,0 +1,64 @@
+//! `epcheck`: lint the shipped event-processor ISR programs with the
+//! `ulp-verify` static checker.
+//!
+//! ```text
+//! cargo run -p ulp-bench --bin epcheck
+//! ```
+//!
+//! Flags:
+//!
+//! * (no flags) — check every shipped stage-1–4 application plus the
+//!   `blink`/`sense` comparison apps and print the reports
+//! * `--fixture` — print the diagnostic fixture suite instead (one
+//!   deliberately broken ISR per diagnostic class)
+//! * `--check`   — render everything twice and assert the output is
+//!   byte-identical (the determinism contract the goldens pin)
+//!
+//! Exit status is 1 if any shipped program has an error-severity
+//! finding (the fixture suite is expected to be full of them and does
+//! not affect the exit status).
+
+use std::process::exit;
+
+use ulp_bench::epcheck;
+
+fn usage() -> ! {
+    eprintln!("usage: epcheck [--fixture] [--check]");
+    exit(2);
+}
+
+fn main() {
+    let mut fixture = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fixture" => fixture = true,
+            "--check" => check = true,
+            _ => usage(),
+        }
+    }
+
+    if check {
+        assert_eq!(
+            epcheck::render_shipped(),
+            epcheck::render_shipped(),
+            "shipped report is not deterministic"
+        );
+        assert_eq!(
+            epcheck::render_fixture(),
+            epcheck::render_fixture(),
+            "fixture report is not deterministic"
+        );
+        println!("epcheck --check: both reports byte-identical across two runs");
+    }
+
+    if fixture {
+        print!("{}", epcheck::render_fixture());
+        return;
+    }
+
+    print!("{}", epcheck::render_shipped());
+    if epcheck::shipped_errors() > 0 {
+        exit(1);
+    }
+}

@@ -29,7 +29,7 @@ fn main() {
             value: 1,
         },
         I::Terminate,
-    ]);
+    ]).unwrap();
     let mut sys = System::new(SystemConfig::default(), Box::new(ConstSensor(0)));
     sys.load(0x0100, &isr);
     sys.install_ep_isr(map::Irq::Timer0.id(), 0x0100);

@@ -27,6 +27,7 @@
 //! text lives in [`report`] so `tests/golden.rs` can pin the binaries'
 //! output byte-for-byte against checked-in golden files.
 
+pub mod epcheck;
 pub mod measure;
 pub mod report;
 pub mod table;

@@ -14,7 +14,10 @@
 //! * `EXECUTE` — one cycle per bus operation: 1 for `READ`/`WRITE`/
 //!   `WRITEI`/`SWITCHOFF`/`TERMINATE`; 1 + the component's wake-handshake
 //!   latency for `SWITCHON`; 2 per byte for `TRANSFER` (read + write);
-//!   3 for `WAKEUP` (two vector-table reads plus the handoff).
+//!   2 for `WAKEUP` (two vector-table reads; the handoff rides the
+//!   second). Pinned by the `wakeup_*` cycle test below and by the
+//!   `ulp-verify` WCET model, whose cross-validation suite asserts the
+//!   static bound equals the measured count.
 //!
 //! Each executed bus operation really goes over [`Slaves`], so SRAM
 //! access energy and slave "touched" activity are charged naturally.
@@ -451,7 +454,7 @@ mod tests {
             100_000.0,
         );
         let isr_addr: u16 = 0x0200;
-        let bytes = encode_program(isr);
+        let bytes = encode_program(isr).expect("EP program encodes");
         slaves.mem.load(isr_addr, &bytes);
         slaves
             .mem

@@ -36,7 +36,7 @@
 //!     I::Read(map::SENSOR_BASE + map::SENSOR_DATA),
 //!     I::SwitchOff(ComponentId::new(map::Component::Sensor as u8).unwrap()),
 //!     I::Terminate,
-//! ]);
+//! ]).unwrap();
 //! sys.load(0x0200, &isr);
 //! sys.install_ep_isr(map::Irq::Timer0.id(), 0x0200);
 //! sys.slaves_mut().timer.configure_periodic(0, 100);

@@ -254,6 +254,287 @@ impl Irq {
 /// Number of distinct interrupt ids the bus can carry.
 pub const NUM_IRQS: usize = 64;
 
+/// The component whose completion logic raises interrupt `irq`, if the
+/// id is assigned. A pending interrupt is proof its source was powered
+/// when it fired — static analyzers use this as the entry power
+/// assumption for the ISR installed on that vector.
+pub fn irq_source(irq: u8) -> Option<Component> {
+    Some(match irq {
+        0..=3 => Component::Timer,
+        8 => Component::Sensor,
+        12 => Component::Filter,
+        16..=18 => Component::MsgProc,
+        24 | 25 => Component::Radio,
+        _ => return None,
+    })
+}
+
+/// Human-readable name of interrupt id `irq`, if assigned.
+pub fn irq_name(irq: u8) -> Option<&'static str> {
+    Some(match irq {
+        0 => "Timer0",
+        1 => "Timer1",
+        2 => "Timer2",
+        3 => "Timer3",
+        8 => "SensorDone",
+        12 => "FilterPass",
+        16 => "MsgReady",
+        17 => "MsgForward",
+        18 => "MsgIrregular",
+        24 => "RadioTxDone",
+        25 => "RadioRxDone",
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable address-map tables
+// ---------------------------------------------------------------------
+//
+// The bus decode in `slaves::Slaves::{read,write}` is the executable
+// truth; these tables restate it as data so tools (the `ulp-verify`
+// static checker, diagnostics renderers) can reason about the map
+// without a live `Slaves`. A consistency test in `slaves` holds the two
+// in lock-step over the full 64 K address space.
+
+/// Software access class of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read and write both reach the device.
+    ReadWrite,
+    /// Writes are silently ignored by the device (status/result/count
+    /// registers latched by hardware).
+    ReadOnly,
+}
+
+/// A named register within a [`RegionDef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterDef {
+    /// Offset from the region base (within one stride for strided
+    /// regions).
+    pub offset: u16,
+    /// Register name, matching the `map` constant.
+    pub name: &'static str,
+    /// Access class.
+    pub access: Access,
+}
+
+/// What kind of window a region is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Banked main memory (power-guarded per 256-byte bank, ids 8–15).
+    Memory,
+    /// Device register window.
+    DeviceRegs,
+    /// A 32-byte message/radio data buffer.
+    Buffer,
+    /// The always-on system/power latches.
+    SysRegs,
+}
+
+/// One decoded window of the bus address map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionDef {
+    /// Region name (matches trace/diagnostic vocabulary).
+    pub name: &'static str,
+    /// First bus address of the window.
+    pub base: u16,
+    /// Window length in bytes.
+    pub len: u16,
+    /// Component id that must be powered for access to succeed, or
+    /// `None` for always-on windows (`Memory` regions are guarded per
+    /// bank instead; see [`guard_component`]).
+    pub guard: Option<u8>,
+    /// Window kind.
+    pub kind: RegionKind,
+    /// Repeat period of `registers` within the window (0 = no repeat;
+    /// the timer window repeats its register file once per timer).
+    pub reg_stride: u16,
+    /// Named registers at their offsets; offsets not listed are
+    /// reserved (reads as implemented, writes ignored).
+    pub registers: &'static [RegisterDef],
+}
+
+const fn reg(offset: u16, name: &'static str, access: Access) -> RegisterDef {
+    RegisterDef {
+        offset,
+        name,
+        access,
+    }
+}
+
+/// Every window decoded by the bus, in ascending base order.
+pub const REGIONS: &[RegionDef] = &[
+    RegionDef {
+        name: "mem",
+        base: MEM_BASE,
+        len: MEM_SIZE,
+        guard: None,
+        kind: RegionKind::Memory,
+        reg_stride: 0,
+        registers: &[],
+    },
+    RegionDef {
+        name: "timer",
+        base: TIMER_BASE,
+        len: 4 * TIMER_STRIDE,
+        guard: Some(Component::Timer as u8),
+        kind: RegionKind::DeviceRegs,
+        reg_stride: TIMER_STRIDE,
+        registers: &[
+            reg(TIMER_RELOAD_LO, "TIMER_RELOAD_LO", Access::ReadWrite),
+            reg(TIMER_RELOAD_HI, "TIMER_RELOAD_HI", Access::ReadWrite),
+            reg(TIMER_CTRL, "TIMER_CTRL", Access::ReadWrite),
+            reg(TIMER_COUNT_LO, "TIMER_COUNT_LO", Access::ReadOnly),
+            reg(TIMER_COUNT_HI, "TIMER_COUNT_HI", Access::ReadOnly),
+        ],
+    },
+    RegionDef {
+        name: "filter",
+        base: FILTER_BASE,
+        len: 8,
+        guard: Some(Component::Filter as u8),
+        kind: RegionKind::DeviceRegs,
+        reg_stride: 0,
+        registers: &[
+            reg(FILTER_CTRL, "FILTER_CTRL", Access::ReadWrite),
+            reg(FILTER_THRESHOLD, "FILTER_THRESHOLD", Access::ReadWrite),
+            reg(FILTER_INPUT, "FILTER_INPUT", Access::ReadWrite),
+            reg(FILTER_RESULT, "FILTER_RESULT", Access::ReadOnly),
+            reg(FILTER_MODE, "FILTER_MODE", Access::ReadWrite),
+        ],
+    },
+    RegionDef {
+        name: "msg",
+        base: MSG_BASE,
+        len: 16,
+        guard: Some(Component::MsgProc as u8),
+        kind: RegionKind::DeviceRegs,
+        reg_stride: 0,
+        registers: &[
+            reg(MSG_CTRL, "MSG_CTRL", Access::ReadWrite),
+            reg(MSG_STATUS, "MSG_STATUS", Access::ReadOnly),
+            reg(MSG_SAMPLE_IN, "MSG_SAMPLE_IN", Access::ReadWrite),
+            reg(MSG_SAMPLE_COUNT, "MSG_SAMPLE_COUNT", Access::ReadOnly),
+            reg(MSG_TX_LEN, "MSG_TX_LEN", Access::ReadOnly),
+            reg(MSG_TX_COUNT_LO, "MSG_TX_COUNT_LO", Access::ReadOnly),
+            reg(MSG_TX_COUNT_HI, "MSG_TX_COUNT_HI", Access::ReadOnly),
+            reg(MSG_RX_LEN, "MSG_RX_LEN", Access::ReadWrite),
+            reg(MSG_AUTO_PREPARE, "MSG_AUTO_PREPARE", Access::ReadWrite),
+        ],
+    },
+    RegionDef {
+        name: "msg_tx_buf",
+        base: MSG_TX_BUF,
+        len: MSG_BUF_LEN,
+        guard: Some(Component::MsgProc as u8),
+        kind: RegionKind::Buffer,
+        reg_stride: 0,
+        registers: &[],
+    },
+    RegionDef {
+        name: "msg_rx_buf",
+        base: MSG_RX_BUF,
+        len: MSG_BUF_LEN,
+        guard: Some(Component::MsgProc as u8),
+        kind: RegionKind::Buffer,
+        reg_stride: 0,
+        registers: &[],
+    },
+    RegionDef {
+        name: "radio",
+        base: RADIO_BASE,
+        len: 8,
+        guard: Some(Component::Radio as u8),
+        kind: RegionKind::DeviceRegs,
+        reg_stride: 0,
+        registers: &[
+            reg(RADIO_CTRL, "RADIO_CTRL", Access::ReadWrite),
+            reg(RADIO_STATUS, "RADIO_STATUS", Access::ReadOnly),
+            reg(RADIO_TX_LEN, "RADIO_TX_LEN", Access::ReadWrite),
+            reg(RADIO_RX_LEN, "RADIO_RX_LEN", Access::ReadOnly),
+        ],
+    },
+    RegionDef {
+        name: "radio_tx_buf",
+        base: RADIO_TX_BUF,
+        len: MSG_BUF_LEN,
+        guard: Some(Component::Radio as u8),
+        kind: RegionKind::Buffer,
+        reg_stride: 0,
+        registers: &[],
+    },
+    RegionDef {
+        name: "radio_rx_buf",
+        base: RADIO_RX_BUF,
+        len: MSG_BUF_LEN,
+        guard: Some(Component::Radio as u8),
+        kind: RegionKind::Buffer,
+        reg_stride: 0,
+        registers: &[],
+    },
+    RegionDef {
+        name: "sensor",
+        base: SENSOR_BASE,
+        len: 4,
+        guard: Some(Component::Sensor as u8),
+        kind: RegionKind::DeviceRegs,
+        reg_stride: 0,
+        registers: &[
+            reg(SENSOR_CTRL, "SENSOR_CTRL", Access::ReadWrite),
+            reg(SENSOR_DATA, "SENSOR_DATA", Access::ReadOnly),
+            reg(SENSOR_CHANNEL, "SENSOR_CHANNEL", Access::ReadWrite),
+        ],
+    },
+    RegionDef {
+        name: "sys",
+        base: SYS_BASE,
+        len: 8,
+        guard: None,
+        kind: RegionKind::SysRegs,
+        reg_stride: 0,
+        registers: &[
+            reg(SYS_MCU_SLEEP, "SYS_MCU_SLEEP", Access::ReadWrite),
+            reg(SYS_POWER_ON, "SYS_POWER_ON", Access::ReadWrite),
+            reg(SYS_POWER_OFF, "SYS_POWER_OFF", Access::ReadWrite),
+            reg(SYS_WAKE_CAUSE, "SYS_WAKE_CAUSE", Access::ReadOnly),
+            reg(SYS_GPIO, "SYS_GPIO", Access::ReadWrite),
+            reg(SYS_GPIO_TOGGLE, "SYS_GPIO_TOGGLE", Access::ReadWrite),
+        ],
+    },
+];
+
+/// The region decoding bus address `addr`, or `None` for unmapped
+/// holes.
+pub fn region_at(addr: u16) -> Option<&'static RegionDef> {
+    REGIONS
+        .iter()
+        .find(|r| addr >= r.base && (addr - r.base) < r.len)
+}
+
+/// The named register at `addr`, with its region. Returns `None` for
+/// unmapped addresses, buffer/memory bytes, and reserved offsets.
+pub fn register_at(addr: u16) -> Option<(&'static RegionDef, &'static RegisterDef)> {
+    let region = region_at(addr)?;
+    let mut offset = addr - region.base;
+    if region.reg_stride > 0 {
+        offset %= region.reg_stride;
+    }
+    let reg = region.registers.iter().find(|r| r.offset == offset)?;
+    Some((region, reg))
+}
+
+/// The 5-bit component id that must be powered for an access to `addr`
+/// to succeed, or `None` if the address is unmapped or always-on.
+/// Memory resolves to the 256-byte bank's id (8–15).
+pub fn guard_component(addr: u16) -> Option<u8> {
+    let region = region_at(addr)?;
+    match region.kind {
+        RegionKind::Memory => Some(Component::mem_bank((addr / 0x0100) as usize)),
+        _ => region.guard,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +571,72 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_bank_panics() {
         let _ = Component::mem_bank(8);
+    }
+
+    #[test]
+    fn region_table_is_sorted_and_disjoint() {
+        for pair in REGIONS.windows(2) {
+            assert!(
+                pair[0].base + pair[0].len <= pair[1].base,
+                "{} overlaps {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn region_lookup() {
+        assert_eq!(region_at(0x0000).unwrap().name, "mem");
+        assert_eq!(region_at(0x07FF).unwrap().name, "mem");
+        assert!(region_at(0x0800).is_none(), "hole above memory");
+        assert_eq!(region_at(TIMER_BASE + 31).unwrap().name, "timer");
+        assert!(region_at(TIMER_BASE + 32).is_none());
+        assert_eq!(region_at(MSG_TX_BUF + 31).unwrap().name, "msg_tx_buf");
+        assert!(region_at(MSG_TX_BUF + 32).is_none());
+        assert_eq!(region_at(SYS_BASE).unwrap().name, "sys");
+        assert!(region_at(0xFFFF).is_none());
+    }
+
+    #[test]
+    fn register_lookup_handles_strides() {
+        // Timer 2's live-count register, via the 8-byte stride.
+        let (region, reg) =
+            register_at(TIMER_BASE + 2 * TIMER_STRIDE + TIMER_COUNT_LO).unwrap();
+        assert_eq!(region.name, "timer");
+        assert_eq!(reg.name, "TIMER_COUNT_LO");
+        assert_eq!(reg.access, Access::ReadOnly);
+        let (_, reg) = register_at(MSG_BASE + MSG_STATUS).unwrap();
+        assert_eq!(reg.name, "MSG_STATUS");
+        assert_eq!(reg.access, Access::ReadOnly);
+        let (_, reg) = register_at(RADIO_BASE + RADIO_TX_LEN).unwrap();
+        assert_eq!(reg.access, Access::ReadWrite);
+        // Buffer bytes and reserved offsets have no register entry.
+        assert!(register_at(MSG_TX_BUF).is_none());
+        assert!(register_at(MSG_BASE + 12).is_none());
+        assert!(register_at(0x0900).is_none());
+    }
+
+    #[test]
+    fn guard_components() {
+        assert_eq!(guard_component(0x0000), Some(Component::mem_bank(0)));
+        assert_eq!(guard_component(0x0712), Some(Component::mem_bank(7)));
+        assert_eq!(guard_component(SENSOR_BASE), Some(Component::Sensor as u8));
+        assert_eq!(guard_component(RADIO_RX_BUF), Some(Component::Radio as u8));
+        assert_eq!(guard_component(SYS_BASE), None, "sys window is always on");
+        assert_eq!(guard_component(0x2000), None);
+    }
+
+    #[test]
+    fn irq_sources_and_names() {
+        assert_eq!(irq_source(Irq::Timer2.id()), Some(Component::Timer));
+        assert_eq!(irq_source(Irq::SensorDone.id()), Some(Component::Sensor));
+        assert_eq!(irq_source(Irq::FilterPass.id()), Some(Component::Filter));
+        assert_eq!(irq_source(Irq::MsgForward.id()), Some(Component::MsgProc));
+        assert_eq!(irq_source(Irq::RadioRxDone.id()), Some(Component::Radio));
+        assert_eq!(irq_source(63), None);
+        assert_eq!(irq_name(Irq::MsgReady.id()), Some("MsgReady"));
+        assert_eq!(irq_name(5), None);
     }
 
     #[test]

@@ -82,6 +82,29 @@ impl From<SramError> for BusError {
     }
 }
 
+/// A non-fault observation recorded by the bus decode when linting is
+/// enabled: legal transactions that are nonetheless almost certainly
+/// ISR bugs. These mirror the static warnings of the `ulp-verify`
+/// checker, and the cross-validation harness holds the two in
+/// lock-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusLint {
+    /// A write to a register whose writes the device ignores
+    /// (hardware-latched status/result/count registers).
+    ReadOnlyWrite {
+        /// The written address.
+        addr: u16,
+    },
+    /// `SWITCHON` of a component already on, or `SWITCHOFF` of one
+    /// already off (a no-op with no handshake latency).
+    RedundantSwitch {
+        /// The 5-bit component id.
+        id: u8,
+        /// `true` for `SWITCHON`.
+        on: bool,
+    },
+}
+
 /// Which slaves were touched by bus traffic this cycle (consumed by the
 /// power-accounting pass: a register access makes the block's logic
 /// switch, i.e. draw active power for that cycle).
@@ -129,6 +152,8 @@ pub struct Slaves {
     pub irqs: InterruptArbiter,
     touched: Touched,
     now: Cycles,
+    lint_enabled: bool,
+    lints: Vec<BusLint>,
 }
 
 impl fmt::Debug for Slaves {
@@ -156,7 +181,24 @@ impl Slaves {
             irqs: InterruptArbiter::new(),
             touched: Touched::default(),
             now: Cycles::ZERO,
+            lint_enabled: false,
+            lints: Vec::new(),
         }
+    }
+
+    /// Enable or disable [`BusLint`] recording (default off: the hooks
+    /// are one branch per transaction, and observers must not perturb
+    /// the simulation).
+    pub fn set_lint(&mut self, enabled: bool) {
+        self.lint_enabled = enabled;
+        if !enabled {
+            self.lints.clear();
+        }
+    }
+
+    /// Take and clear the lint observations recorded so far.
+    pub fn take_lints(&mut self) -> Vec<BusLint> {
+        std::mem::take(&mut self.lints)
     }
 
     /// Advance all slaves one cycle, raising completion interrupts.
@@ -265,6 +307,13 @@ impl Slaves {
     ///
     /// Faults on unmapped addresses and gated slaves.
     pub fn write(&mut self, addr: u16, value: u8) -> Result<(), BusError> {
+        if self.lint_enabled {
+            if let Some((_, reg)) = map::register_at(addr) {
+                if reg.access == map::Access::ReadOnly {
+                    self.lints.push(BusLint::ReadOnlyWrite { addr });
+                }
+            }
+        }
         match addr {
             a if a < map::MEM_SIZE => Ok(self.mem.write(a, value)?),
             a if in_win(a, map::TIMER_BASE, 32) => {
@@ -371,9 +420,15 @@ impl Slaves {
             (Component::MsgProc, _) => self.msgproc.powered() == on,
             (Component::Radio, _) => self.radio.powered() == on,
             (Component::Sensor, _) => self.sensor.powered() == on,
+            (Component::MemBank0, Some(b)) => {
+                (self.mem.bank_state(b) == ulp_sram::BankState::Gated) != on
+            }
             _ => false,
         };
         if already {
+            if self.lint_enabled {
+                self.lints.push(BusLint::RedundantSwitch { id, on });
+            }
             return Ok(Cycles::ZERO);
         }
         match (component, bank) {
@@ -525,6 +580,127 @@ mod tests {
         assert_eq!(s.sys.power_requests, vec![(true, 4), (false, 3)]);
         s.sys.wake_cause = 18;
         assert_eq!(s.read(map::SYS_BASE + map::SYS_WAKE_CAUSE).unwrap(), 18);
+    }
+
+    #[test]
+    fn map_tables_match_bus_decode_over_full_address_space() {
+        // With every component powered, an address is readable exactly
+        // when `map::REGIONS` claims a window decodes it — the tables
+        // the static checker trusts restate the executable decode.
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        for id in [2u8, 3, 4] {
+            s.set_power(id, true, &wake).unwrap();
+        }
+        for addr in 0..=u16::MAX {
+            let mapped = map::region_at(addr).is_some();
+            assert_eq!(
+                s.read(addr).is_ok(),
+                mapped,
+                "read/region_at disagree at 0x{addr:04X}"
+            );
+            // And the guard table names the component whose gating
+            // makes the access fault (exercised per-region below).
+            if mapped {
+                assert!(map::guard_component(addr).is_some() || addr >= map::SYS_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn guard_table_matches_gated_faults() {
+        // Gating the guard component of each guarded region makes its
+        // first address fault; always-on regions never fault.
+        let wake = WakeLatency::paper();
+        for region in map::REGIONS {
+            let mut s = slaves();
+            for id in [2u8, 3, 4] {
+                s.set_power(id, true, &wake).unwrap();
+            }
+            let guard = map::guard_component(region.base);
+            match guard {
+                Some(id) => {
+                    s.set_power(id, false, &wake).unwrap();
+                    assert!(
+                        s.read(region.base).is_err(),
+                        "{} readable with guard {id} off",
+                        region.name
+                    );
+                }
+                None => assert!(
+                    s.read(region.base).is_ok(),
+                    "{} should be always-on",
+                    region.name
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_registers_ignore_writes_and_lint() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        for id in [2u8, 3, 4] {
+            s.set_power(id, true, &wake).unwrap();
+        }
+        s.set_lint(true);
+        for region in map::REGIONS {
+            let strides = region.len.checked_div(region.reg_stride).unwrap_or(1);
+            for i in 0..strides {
+                for reg in region.registers {
+                    if reg.access != map::Access::ReadOnly {
+                        continue;
+                    }
+                    let addr = region.base + i * region.reg_stride + reg.offset;
+                    let before = s.read(addr).unwrap();
+                    s.take_lints();
+                    s.write(addr, before.wrapping_add(0x5A)).unwrap();
+                    assert_eq!(
+                        s.read(addr).unwrap(),
+                        before,
+                        "{}+{} not read-only",
+                        region.name,
+                        reg.name
+                    );
+                    assert_eq!(
+                        s.take_lints(),
+                        vec![BusLint::ReadOnlyWrite { addr }],
+                        "missing lint for {}",
+                        reg.name
+                    );
+                }
+            }
+        }
+        // Read-write registers do not lint.
+        s.take_lints();
+        s.write(map::FILTER_BASE + map::FILTER_THRESHOLD, 7).unwrap();
+        assert!(s.take_lints().is_empty());
+    }
+
+    #[test]
+    fn redundant_switches_lint_when_enabled() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        s.set_lint(true);
+        // Timer starts on; sensor starts off; bank 0 starts ungated.
+        s.set_power(0, true, &wake).unwrap();
+        s.set_power(4, false, &wake).unwrap();
+        s.set_power(crate::map::Component::mem_bank(0), true, &wake)
+            .unwrap();
+        assert_eq!(
+            s.take_lints(),
+            vec![
+                BusLint::RedundantSwitch { id: 0, on: true },
+                BusLint::RedundantSwitch { id: 4, on: false },
+                BusLint::RedundantSwitch { id: 8, on: true },
+            ]
+        );
+        // A real transition does not lint, and disabling clears.
+        s.set_power(4, true, &wake).unwrap();
+        assert!(s.take_lints().is_empty());
+        s.set_power(4, false, &wake).unwrap();
+        s.set_lint(false);
+        assert!(s.take_lints().is_empty());
     }
 
     #[test]

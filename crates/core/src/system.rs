@@ -761,7 +761,7 @@ mod tests {
                 value: 1,
             },
             I::Terminate,
-        ]);
+        ]).unwrap();
         // ISR 2 (message ready): move the frame to the radio and fire.
         let isr2 = encode_program(&[
             I::SwitchOn(radio),
@@ -778,9 +778,9 @@ mod tests {
                 value: 1,
             },
             I::Terminate,
-        ]);
+        ]).unwrap();
         // ISR 3 (tx done): power the radio back down.
-        let isr3 = encode_program(&[I::SwitchOff(radio), I::Terminate]);
+        let isr3 = encode_program(&[I::SwitchOff(radio), I::Terminate]).unwrap();
         sys.load(0x0200, &isr1);
         sys.load(0x0240, &isr2);
         sys.load(0x0280, &isr3);
@@ -888,7 +888,7 @@ mod tests {
                 value: 2,
             },
             I::Terminate,
-        ]);
+        ]).unwrap();
         sys.load(0x0200, &isr);
         sys.install_ep_isr(Irq::RadioRxDone.id(), 0x0200);
         // Forward ISR: send the msgproc TX buffer out.
@@ -906,7 +906,7 @@ mod tests {
                 value: 1,
             },
             I::Terminate,
-        ]);
+        ]).unwrap();
         sys.load(0x0240, &fwd);
         sys.install_ep_isr(Irq::MsgForward.id(), 0x0240);
         sys.radio_listen();
@@ -928,7 +928,7 @@ mod tests {
     fn ep_fault_halts_with_diagnostic() {
         let mut sys = system();
         // ISR reads a gated slave.
-        let isr = encode_program(&[I::Read(map::MSG_BASE), I::Terminate]);
+        let isr = encode_program(&[I::Read(map::MSG_BASE), I::Terminate]).unwrap();
         sys.load(0x0200, &isr);
         sys.install_ep_isr(0, 0x0200);
         sys.inject_irq(0);
@@ -945,7 +945,7 @@ mod tests {
     fn wakeup_runs_mcu_handler() {
         let mut sys = system();
         // EP ISR: wake the µC at vector 0.
-        let isr = encode_program(&[I::Wakeup(0)]);
+        let isr = encode_program(&[I::Wakeup(0)]).unwrap();
         sys.load(0x0200, &isr);
         sys.install_ep_isr(5, 0x0200);
         // µC handler at 0x0400: store 0xAA to 0x0310, then sleep.
@@ -1011,7 +1011,7 @@ mod tests {
     fn mcu_wake_latency_includes_handshake() {
         let mut sys = system();
         sys.set_telemetry(true);
-        let isr = encode_program(&[I::Wakeup(0)]);
+        let isr = encode_program(&[I::Wakeup(0)]).unwrap();
         sys.load(0x0200, &isr);
         sys.install_ep_isr(5, 0x0200);
         let handler = ulp_mcu8::assemble("ldi r16, 1\nsts 0x1500, r16\nspin: rjmp spin").unwrap();

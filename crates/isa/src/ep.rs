@@ -80,8 +80,23 @@ pub enum Opcode {
 
 impl Opcode {
     /// Decode from the top 3 bits of a first instruction word.
+    ///
+    /// High bits beyond the 3-bit field are silently masked off; callers
+    /// that want garbage bits to surface as an error should use
+    /// [`Opcode::try_from_bits`] instead (as [`Instruction::decode`]
+    /// does).
     pub fn from_bits(bits: u8) -> Opcode {
-        match bits & 0b111 {
+        Opcode::try_from_bits(bits & 0b111).expect("masked to 3 bits")
+    }
+
+    /// Decode from a 3-bit field, rejecting values with garbage high
+    /// bits instead of aliasing them onto a valid opcode.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `bits` does not fit in 3 bits.
+    pub fn try_from_bits(bits: u8) -> Option<Opcode> {
+        Some(match bits {
             0 => Opcode::SwitchOn,
             1 => Opcode::SwitchOff,
             2 => Opcode::Read,
@@ -89,8 +104,9 @@ impl Opcode {
             4 => Opcode::WriteI,
             5 => Opcode::Transfer,
             6 => Opcode::Terminate,
-            _ => Opcode::Wakeup,
-        }
+            7 => Opcode::Wakeup,
+            _ => return None,
+        })
     }
 
     /// Instruction length in words (bytes) for this opcode.
@@ -162,6 +178,11 @@ pub enum DecodeError {
         /// Bytes that were available.
         have: usize,
     },
+    /// The opcode field carried bits outside the 3-bit encoding.
+    BadOpcode {
+        /// The raw (unmasked) opcode field value.
+        bits: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -173,11 +194,37 @@ impl fmt::Display for DecodeError {
                 opcode.mnemonic(),
                 opcode.words()
             ),
+            DecodeError::BadOpcode { bits } => {
+                write!(f, "opcode field 0b{bits:b} does not fit in 3 bits")
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Error encoding an instruction into bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A `TRANSFER` block length outside `1..=32` (the field encodes
+    /// `len − 1` in 5 bits, and zero-length blocks are meaningless).
+    TransferLength {
+        /// The rejected length.
+        len: u8,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TransferLength { len } => {
+                write!(f, "transfer length {len} out of range 1..={MAX_TRANSFER}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 impl Instruction {
     /// The instruction's opcode.
@@ -205,13 +252,61 @@ impl Instruction {
         matches!(self, Instruction::Terminate | Instruction::Wakeup(_))
     }
 
+    /// The component operand of `SWITCHON`/`SWITCHOFF`, if any.
+    pub fn component(&self) -> Option<ComponentId> {
+        match *self {
+            Instruction::SwitchOn(c) | Instruction::SwitchOff(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The single bus address operand of `READ`/`WRITE`/`WRITEI`, if any
+    /// (`TRANSFER` carries two addresses; see
+    /// [`Instruction::transfer_args`]).
+    pub fn addr(&self) -> Option<u16> {
+        match *self {
+            Instruction::Read(a) | Instruction::Write(a) => Some(a),
+            Instruction::WriteI { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// The immediate operand of `WRITEI`, if any.
+    pub fn immediate(&self) -> Option<u8> {
+        match *self {
+            Instruction::WriteI { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The `(src, dst, len)` operands of `TRANSFER`, if any.
+    pub fn transfer_args(&self) -> Option<(u16, u16, u8)> {
+        match *self {
+            Instruction::Transfer { src, dst, len } => Some((src, dst, len)),
+            _ => None,
+        }
+    }
+
+    /// The µC vector operand of `WAKEUP`, if any.
+    pub fn vector(&self) -> Option<u8> {
+        match *self {
+            Instruction::Wakeup(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Encode into bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::TransferLength`] for a `TRANSFER` whose
+    /// block length is outside `1..=32`.
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
         fn head(op: Opcode, arg: u8) -> u8 {
             debug_assert!(arg < 32);
             ((op as u8) << 5) | (arg & 0x1F)
         }
-        match *self {
+        Ok(match *self {
             Instruction::SwitchOn(c) => vec![head(Opcode::SwitchOn, c.raw())],
             Instruction::SwitchOff(c) => vec![head(Opcode::SwitchOff, c.raw())],
             Instruction::Read(a) => vec![head(Opcode::Read, 0), a as u8, (a >> 8) as u8],
@@ -223,10 +318,9 @@ impl Instruction {
                 value,
             ],
             Instruction::Transfer { src, dst, len } => {
-                assert!(
-                    (1..=MAX_TRANSFER).contains(&len),
-                    "transfer length {len} out of range 1..={MAX_TRANSFER}"
-                );
+                if !(1..=MAX_TRANSFER).contains(&len) {
+                    return Err(EncodeError::TransferLength { len });
+                }
                 vec![
                     head(Opcode::Transfer, len - 1),
                     src as u8,
@@ -237,7 +331,7 @@ impl Instruction {
             }
             Instruction::Terminate => vec![head(Opcode::Terminate, 0)],
             Instruction::Wakeup(v) => vec![head(Opcode::Wakeup, 0), v],
-        }
+        })
     }
 
     /// Decode one instruction from the front of `bytes`, returning it and
@@ -245,13 +339,17 @@ impl Instruction {
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError::Truncated`] if `bytes` is too short.
+    /// Returns [`DecodeError::Truncated`] if `bytes` is too short, or
+    /// [`DecodeError::BadOpcode`] if the opcode field carries bits
+    /// outside the 3-bit encoding (defensive; an in-range first word
+    /// always yields a 3-bit field).
     pub fn decode(bytes: &[u8]) -> Result<(Instruction, usize), DecodeError> {
         let first = *bytes.first().ok_or(DecodeError::Truncated {
             opcode: Opcode::Terminate,
             have: 0,
         })?;
-        let opcode = Opcode::from_bits(first >> 5);
+        let bits = first >> 5;
+        let opcode = Opcode::try_from_bits(bits).ok_or(DecodeError::BadOpcode { bits })?;
         let arg = first & 0x1F;
         let n = opcode.words();
         if bytes.len() < n {
@@ -300,12 +398,16 @@ impl fmt::Display for Instruction {
 }
 
 /// Encode a sequence of instructions into a contiguous byte program.
-pub fn encode_program(program: &[Instruction]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns the first [`EncodeError`] produced by any instruction.
+pub fn encode_program(program: &[Instruction]) -> Result<Vec<u8>, EncodeError> {
     let mut out = Vec::with_capacity(program.len() * 2);
     for insn in program {
-        out.extend(insn.encode());
+        out.extend(insn.encode()?);
     }
-    out
+    Ok(out)
 }
 
 /// Decode a contiguous byte program until `TERMINATE`/`WAKEUP` or the end.
@@ -326,6 +428,64 @@ pub fn decode_isr(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
         }
     }
     Ok(out)
+}
+
+/// Structural decode of an ISR image, as produced by
+/// [`decode_isr_meta`].
+///
+/// Unlike [`decode_isr`] this never fails: truncation and trailing
+/// bytes are reported as metadata so analyzers can diagnose them with
+/// byte offsets instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsrDecode {
+    /// Decoded instructions with their byte offset from the ISR start.
+    pub insns: Vec<(u16, Instruction)>,
+    /// Bytes consumed by the decoded instructions.
+    pub consumed: usize,
+    /// Whether decoding stopped at a `TERMINATE`/`WAKEUP`.
+    pub terminated: bool,
+    /// Bytes left in the image after the terminator (unreachable tail),
+    /// or after the truncation point if `truncated`.
+    pub trailing: usize,
+    /// Whether the final instruction's operand words ran off the end of
+    /// the image before a terminator was seen.
+    pub truncated: bool,
+}
+
+/// Decode an ISR image into instructions plus structural metadata.
+///
+/// Decoding walks from offset 0 and stops at the first
+/// `TERMINATE`/`WAKEUP`, at the end of the image, or at a truncated
+/// instruction — whichever comes first. The outcome is always a value;
+/// see [`IsrDecode`] for how abnormal shapes are reported.
+pub fn decode_isr_meta(bytes: &[u8]) -> IsrDecode {
+    let mut insns = Vec::new();
+    let mut pos = 0usize;
+    let mut terminated = false;
+    let mut truncated = false;
+    while pos < bytes.len() {
+        match Instruction::decode(&bytes[pos..]) {
+            Ok((insn, n)) => {
+                insns.push((pos as u16, insn));
+                pos += n;
+                if insn.ends_isr() {
+                    terminated = true;
+                    break;
+                }
+            }
+            Err(_) => {
+                truncated = true;
+                break;
+            }
+        }
+    }
+    IsrDecode {
+        insns,
+        consumed: pos,
+        terminated,
+        trailing: bytes.len() - pos,
+        truncated,
+    }
 }
 
 /// The event-processor ISA, pluggable into [`crate::asm::Assembler`].
@@ -407,7 +567,7 @@ impl Isa for EpIsa {
                 Instruction::Wakeup(range(eval(0)?, 0, 255, "vector")? as u8)
             }
         };
-        Ok(insn.encode())
+        insn.encode().map_err(|e| e.to_string())
     }
 }
 
@@ -461,7 +621,7 @@ mod tests {
             Instruction::Wakeup(3),
             Instruction::Terminate,
         ];
-        let bytes = encode_program(&prog);
+        let bytes = encode_program(&prog).unwrap();
         let mut pos = 0;
         for want in &prog {
             let (got, n) = Instruction::decode(&bytes[pos..]).unwrap();
@@ -478,7 +638,8 @@ mod tests {
             Instruction::Read(0x10),
             Instruction::Terminate,
             Instruction::Read(0x20), // unreachable tail
-        ]);
+        ])
+        .unwrap();
         let isr = decode_isr(&bytes).unwrap();
         assert_eq!(isr.len(), 2);
         assert!(isr[1].ends_isr());
@@ -490,7 +651,8 @@ mod tests {
             src: 1,
             dst: 2,
             len: 8,
-        }]);
+        }])
+        .unwrap();
         let err = Instruction::decode(&bytes[..3]).unwrap_err();
         assert!(err.to_string().contains("truncated transfer"));
         assert!(Instruction::decode(&[]).is_err());
@@ -504,14 +666,105 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "transfer length")]
-    fn zero_length_transfer_panics_on_encode() {
-        let _ = Instruction::Transfer {
+    fn zero_length_transfer_is_a_typed_encode_error() {
+        let err = Instruction::Transfer {
             src: 0,
             dst: 0,
             len: 0,
         }
-        .encode();
+        .encode()
+        .unwrap_err();
+        assert_eq!(err, EncodeError::TransferLength { len: 0 });
+        assert_eq!(err.to_string(), "transfer length 0 out of range 1..=32");
+        // Over-long blocks are rejected the same way, and the error
+        // propagates through `encode_program`.
+        let err = encode_program(&[
+            Instruction::Terminate,
+            Instruction::Transfer {
+                src: 0,
+                dst: 0,
+                len: 33,
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(err, EncodeError::TransferLength { len: 33 });
+    }
+
+    #[test]
+    fn try_from_bits_rejects_garbage_high_bits() {
+        // All 3-bit values decode; anything wider is rejected instead of
+        // aliasing onto `bits & 0b111`.
+        for bits in 0u8..8 {
+            let op = Opcode::try_from_bits(bits).expect("3-bit value");
+            assert_eq!(op as u8, bits);
+            assert_eq!(Opcode::from_bits(bits), op);
+        }
+        for bits in [0b1000u8, 0b1010, 0x80, 0xFF] {
+            assert_eq!(Opcode::try_from_bits(bits), None);
+        }
+        // `decode` goes through the checked path (defensively — an
+        // in-range first word always produces a 3-bit field).
+        let err = DecodeError::BadOpcode { bits: 0b1010 };
+        assert_eq!(err.to_string(), "opcode field 0b1010 does not fit in 3 bits");
+    }
+
+    #[test]
+    fn decode_isr_meta_reports_structure() {
+        // Normal, terminated ISR with an unreachable tail.
+        let bytes = encode_program(&[
+            Instruction::Read(0x10),
+            Instruction::Terminate,
+            Instruction::Read(0x20),
+        ])
+        .unwrap();
+        let meta = decode_isr_meta(&bytes);
+        assert_eq!(meta.insns.len(), 2);
+        assert_eq!(meta.insns[0].0, 0);
+        assert_eq!(meta.insns[1], (3, Instruction::Terminate));
+        assert!(meta.terminated);
+        assert!(!meta.truncated);
+        assert_eq!(meta.consumed, 4);
+        assert_eq!(meta.trailing, 3);
+
+        // Truncated final instruction.
+        let meta = decode_isr_meta(&bytes[..2]);
+        assert!(!meta.terminated);
+        assert!(meta.truncated);
+        assert_eq!(meta.insns.len(), 0);
+        assert_eq!(meta.trailing, 2);
+
+        // Runs off the end without a terminator.
+        let open = encode_program(&[Instruction::Read(0x10)]).unwrap();
+        let meta = decode_isr_meta(&open);
+        assert!(!meta.terminated);
+        assert!(!meta.truncated);
+        assert_eq!(meta.trailing, 0);
+        assert_eq!(meta.consumed, 3);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let c = ComponentId::new(4).unwrap();
+        assert_eq!(Instruction::SwitchOn(c).component(), Some(c));
+        assert_eq!(Instruction::SwitchOff(c).component(), Some(c));
+        assert_eq!(Instruction::Terminate.component(), None);
+        assert_eq!(Instruction::Read(0x1401).addr(), Some(0x1401));
+        assert_eq!(Instruction::Write(0x1210).addr(), Some(0x1210));
+        let wi = Instruction::WriteI {
+            addr: 0x1200,
+            value: 9,
+        };
+        assert_eq!(wi.addr(), Some(0x1200));
+        assert_eq!(wi.immediate(), Some(9));
+        let t = Instruction::Transfer {
+            src: 0x1280,
+            dst: 0x1340,
+            len: 8,
+        };
+        assert_eq!(t.addr(), None);
+        assert_eq!(t.transfer_args(), Some((0x1280, 0x1340, 8)));
+        assert_eq!(Instruction::Wakeup(3).vector(), Some(3));
+        assert_eq!(Instruction::Terminate.vector(), None);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! # let _ = Frequency::from_khz(100.0);
 //! ```
 
+pub mod diag;
 pub mod energy;
 pub mod engine;
 pub mod power;

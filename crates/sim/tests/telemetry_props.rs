@@ -66,7 +66,7 @@ props! {
         prop_assert!(est >= exact, "estimate {est} below exact {exact}");
         if exact > 0 {
             prop_assert!(
-                est <= 2 * exact - 1,
+                est < 2 * exact,
                 "estimate {est} beyond 2x bound of exact {exact}"
             );
         } else {

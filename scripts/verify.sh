@@ -21,8 +21,12 @@ cargo test -q --offline
 echo "== cargo test -q --workspace --offline =="
 cargo test -q --workspace --offline
 
-echo "== cargo clippy --all-targets -- -D warnings =="
-cargo clippy --all-targets --offline -- -D warnings
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== epcheck: shipped EP ISRs must lint clean =="
+cargo run -q -p ulp-bench --bin epcheck --offline > /dev/null
+cargo run -q -p ulp-bench --bin epcheck --offline -- --check > /dev/null
 
 echo "== telemetry trace dumper: deterministic + well-formed JSON =="
 # --check runs the workload twice, asserts the Perfetto JSON / CSV /

@@ -103,7 +103,7 @@ fn half_duplex_collisions_are_counted() {
 #[test]
 fn unmapped_access_faults_with_address() {
     let mut sys = System::new(SystemConfig::default(), Box::new(ConstSensor(0)));
-    let isr = encode_program(&[I::Read(0x4000), I::Terminate]);
+    let isr = encode_program(&[I::Read(0x4000), I::Terminate]).unwrap();
     sys.load(0x0100, &isr);
     sys.install_ep_isr(0, 0x0100);
     sys.inject_irq(0);
@@ -122,7 +122,7 @@ fn unmapped_access_faults_with_address() {
 fn gated_bank_access_faults() {
     let mut sys = System::new(SystemConfig::default(), Box::new(ConstSensor(0)));
     let bank7 = ComponentId::new(map::Component::mem_bank(7)).unwrap();
-    let isr = encode_program(&[I::SwitchOff(bank7), I::Read(0x0700), I::Terminate]);
+    let isr = encode_program(&[I::SwitchOff(bank7), I::Read(0x0700), I::Terminate]).unwrap();
     sys.load(0x0100, &isr);
     sys.install_ep_isr(0, 0x0100);
     sys.inject_irq(0);
@@ -139,7 +139,7 @@ fn gated_bank_access_faults() {
 #[test]
 fn crashed_handler_is_reported() {
     let mut sys = System::new(SystemConfig::default(), Box::new(ConstSensor(0)));
-    let isr = encode_program(&[I::Wakeup(0)]);
+    let isr = encode_program(&[I::Wakeup(0)]).unwrap();
     sys.load(0x0100, &isr);
     sys.install_ep_isr(5, 0x0100);
     let handler = ulp_node::mcu8::assemble("break").unwrap();

@@ -132,3 +132,20 @@ fn telemetry_exports_are_pinned() {
     validate(&mica.json);
     assert_golden("trace_mica2_summary.txt", &mica.summary);
 }
+
+#[test]
+fn epcheck_reports_are_pinned_and_deterministic() {
+    // The static checker's rendered reports are a contract: the shipped
+    // programs must lint clean (pinning the WCET of every ISR), and the
+    // fixture suite pins one rendered diagnostic per class. Both must
+    // be byte-identical across runs — diagnostics feed goldens and CI
+    // diffs, so nondeterminism would be a bug in its own right.
+    use ulp_bench::epcheck;
+    let shipped = epcheck::render_shipped();
+    let fixture = epcheck::render_fixture();
+    assert_eq!(shipped, epcheck::render_shipped(), "shipped nondeterminism");
+    assert_eq!(fixture, epcheck::render_fixture(), "fixture nondeterminism");
+    assert_golden("epcheck_shipped.txt", &shipped);
+    assert_golden("epcheck_fixture.txt", &fixture);
+    assert_eq!(epcheck::shipped_errors(), 0, "shipped ISRs must be clean");
+}

@@ -37,7 +37,7 @@ props! {
     /// decoded length equals the encoded length.
     #[test]
     fn ep_instruction_roundtrip(insn in arb_ep_instruction()) {
-        let bytes = insn.encode();
+        let bytes = insn.encode().unwrap();
         prop_assert_eq!(bytes.len(), insn.words());
         let (decoded, n) = Instruction::decode(&bytes).unwrap();
         prop_assert_eq!(decoded, insn);

@@ -119,7 +119,7 @@ fn pathological_isr_soak() {
             len: 32,
         },
         I::Terminate,
-    ]);
+    ]).unwrap();
     sys.load(0x0200, &isr);
     sys.install_ep_isr(0, 0x0200);
     sys.slaves_mut().timer.configure_periodic(0, 50);
