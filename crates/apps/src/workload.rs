@@ -120,7 +120,23 @@ pub struct Fig6Row {
 ///
 /// Panics on duty cycles outside `(0, 1]`.
 pub fn figure6_sweep(duties: &[f64], atmel_cycles_per_event: u64) -> Vec<Fig6Row> {
-    let profile = profile_event();
+    figure6_sweep_with_profile(duties, atmel_cycles_per_event, &profile_event())
+}
+
+/// [`figure6_sweep`] against an already-measured [`EventProfile`]: the
+/// single sweep definition both the analytic Figure 6 table and the
+/// full-simulation cross-validation read from (one profiling pass, no
+/// drift between the two).
+///
+/// # Panics
+///
+/// Panics on duty cycles outside `(0, 1]`.
+pub fn figure6_sweep_with_profile(
+    duties: &[f64],
+    atmel_cycles_per_event: u64,
+    profile: &EventProfile,
+) -> Vec<Fig6Row> {
+    let profile = *profile;
     let power = SystemPower::paper();
     let clock_hz = 100_000.0;
     let mica = Mica2Power::table1();
@@ -172,11 +188,24 @@ pub fn figure6_sweep(duties: &[f64], atmel_cycles_per_event: u64) -> Vec<Fig6Row
 /// duty cycles the real system sustains (sample period longer than the
 /// event plus radio airtime); returns the measured average power.
 ///
+/// Measures a fresh [`EventProfile`]; when sweeping many points, profile
+/// once and use [`simulate_duty_with_profile`].
+///
 /// # Panics
 ///
 /// Panics if `duty` is outside the sustainable range.
 pub fn simulate_duty(duty: f64) -> Power {
-    let profile = profile_event();
+    simulate_duty_with_profile(duty, &profile_event())
+}
+
+/// [`simulate_duty`] against an already-measured [`EventProfile`], so a
+/// sweep over many duty points pays for exactly one profiling pass and
+/// each point is an independent (parallelizable) simulation.
+///
+/// # Panics
+///
+/// Panics if `duty` is outside the sustainable range.
+pub fn simulate_duty_with_profile(duty: f64, profile: &EventProfile) -> Power {
     let period_cycles = (profile.event_cycles as f64 / duty).round() as u64;
     assert!(
         period_cycles >= profile.event_cycles + 130,
@@ -204,6 +233,26 @@ pub fn simulate_duty(duty: f64) -> Power {
 /// from 1 down to 10⁻⁴).
 pub fn paper_duty_grid() -> Vec<f64> {
     vec![1.0, 0.5, 0.2, 0.12, 0.1, 0.05, 0.02, 0.01, 1e-3, 1e-4]
+}
+
+/// Whether `duty` is within the range the real system sustains — the
+/// sample period must cover the event itself plus the radio airtime
+/// ([`simulate_duty`] asserts exactly this bound).
+pub fn sustainable_duty(profile: &EventProfile, duty: f64) -> bool {
+    let period_cycles = (profile.event_cycles as f64 / duty).round() as u64;
+    period_cycles >= profile.event_cycles + 130
+}
+
+/// The subset of [`paper_duty_grid`] that full simulation can
+/// cross-validate ([`sustainable_duty`] points). Both the `fig6`
+/// binary's cross-validation table and the fleet sweep read this one
+/// definition, so the analytic table and the simulated points can
+/// never drift apart.
+pub fn sim_crosscheck_duties(profile: &EventProfile) -> Vec<f64> {
+    paper_duty_grid()
+        .into_iter()
+        .filter(|&d| sustainable_duty(profile, d))
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,8 +9,15 @@
 //! 4. **Intelligent precharge** (§5.2 future work): −35% active power.
 //! 5. **Hardware vs software timers** (§4.2.2): a software timer forces
 //!    the microcontroller to stay awake.
+//!
+//! The three simulation-bound ablations (baseline, µC-only, clock-gated
+//! µC) are independent scenario points and run on the parallel fleet
+//! engine (`ULP_FLEET_THREADS` workers, grid-order deterministic
+//! output); the SRAM/precharge/timer comparisons are closed-form model
+//! reads and stay serial.
 
 use ulp_apps::ulp::{stages, SamplePeriod};
+use ulp_bench::fleet::{self, Cell, Coords, Sweep};
 use ulp_bench::TableWriter;
 use ulp_core::map::{self, Component, Irq};
 use ulp_core::slaves::ConstSensor;
@@ -149,12 +156,49 @@ fn no_vdd_gating() -> (Power, u64) {
     run_avg_power(sys)
 }
 
+/// Which simulation-bound ablation a grid point runs.
+#[derive(Clone, Copy)]
+enum Config {
+    Baseline,
+    McuOnly,
+    NoVddGating,
+}
+
 fn main() {
     println!("Ablation studies\n");
 
+    // The three full simulations are one fleet sweep: independent
+    // points, parallel workers, grid-order (deterministic) results.
+    let mut sweep = Sweep::new("ablations", &["avg_power_w", "packets"]);
+    for (name, config) in [
+        ("baseline", Config::Baseline),
+        ("mcu-only", Config::McuOnly),
+        ("clock-gated-mcu", Config::NoVddGating),
+    ] {
+        sweep.push(Coords::new().with("config", name), config);
+    }
+    let results = sweep
+        .run(fleet::fleet_threads(), |_, config| {
+            let (power, sent) = match config {
+                Config::Baseline => baseline(),
+                Config::McuOnly => mcu_only(),
+                Config::NoVddGating => no_vdd_gating(),
+            };
+            vec![Cell::F64(power.watts()), Cell::U64(sent)]
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+    let point = |row: usize| match (&results.rows()[row][1], &results.rows()[row][2]) {
+        (Cell::F64(w), Cell::U64(sent)) => (Power::from_watts(*w), *sent),
+        other => unreachable!("unexpected cells {other:?}"),
+    };
+    let (base, base_sent) = point(0);
+    let (mcu, mcu_sent) = point(1);
+    let (leaky, _) = point(2);
+
     // 1 & 5: who handles regular events, and what it costs.
-    let (base, base_sent) = baseline();
-    let (mcu, mcu_sent) = mcu_only();
     let mut t = TableWriter::new(&["Configuration", "Avg power", "Packets (4 s)"]);
     t.row(&[
         "Event processor handles events (paper)".into(),
@@ -174,7 +218,6 @@ fn main() {
     );
 
     // 2: Vdd gating vs clock gating of the µC.
-    let (leaky, _) = no_vdd_gating();
     println!(
         "Vdd gating the microcontroller (vs clock-gating only, the SNAP \
          critique):\n  gated {} vs clock-gated {}  (+{})\n",
@@ -236,5 +279,12 @@ fn main() {
         sw_timer,
         hw_timer,
         sw_timer.watts() / hw_timer.watts()
+    );
+
+    eprintln!(
+        "\nfleet: {} simulation points in {:.3} s on {} worker(s)",
+        results.rows().len(),
+        results.elapsed().as_secs_f64(),
+        results.threads()
     );
 }

@@ -4,9 +4,22 @@
 //! sustainable operating points. The analytic sweep text is built by
 //! `ulp_bench::report` and pinned by `tests/golden.rs`; the simulation
 //! cross-validation is appended here (too slow to golden-test).
+//!
+//! Both the analytic table and the cross-validation read **one** sweep
+//! definition — one `profile_event` pass, one `figure6_sweep` row set,
+//! and the `sim_crosscheck_duties` subset of the same grid — so the
+//! table and the figure cannot drift apart. The cross-validation
+//! points are independent full simulations and run on the parallel
+//! fleet engine (`ULP_FLEET_THREADS` workers); the engine double-runs
+//! serial vs parallel and asserts byte-identical results every time.
 
-use ulp_apps::workload::{figure6_sweep, simulate_duty};
+use ulp_apps::workload::{
+    figure6_sweep_with_profile, paper_duty_grid, profile_event, sim_crosscheck_duties,
+    simulate_duty_with_profile,
+};
+use ulp_bench::fleet::{self, Cell, Coords, Sweep};
 use ulp_bench::TableWriter;
+use ulp_sim::Power;
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
@@ -24,18 +37,47 @@ fn main() {
         .find(|r| r.name.contains("w/ filter"))
         .map(|r| r.mica)
         .expect("table 4 has the filtered row");
-    print!("{}", ulp_bench::report::fig6_report(atmel_cycles));
+    // One profiling pass feeds the report, the analytic rows, and every
+    // simulated cross-check below.
+    let profile = profile_event();
+    print!(
+        "{}",
+        ulp_bench::report::fig6_report_with_profile(atmel_cycles, &profile)
+    );
 
     println!("\nFull-simulation cross-validation (cycle-accurate, fast-forwarded):");
+    let analytic_rows = figure6_sweep_with_profile(&paper_duty_grid(), atmel_cycles, &profile);
+    let mut sweep = Sweep::new("fig6-crosscheck", &["analytic_uw", "simulated_uw"]);
+    for d in sim_crosscheck_duties(&profile) {
+        sweep.push(Coords::new().with("duty", d), d);
+    }
+    let threads = fleet::fleet_threads();
+    let (results, speedup) = fleet::measure_speedup(&sweep, threads, |_, &d| {
+        let analytic = analytic_rows
+            .iter()
+            .find(|r| r.duty == d)
+            .expect("crosscheck duties are a subset of the paper grid")
+            .total;
+        let simulated = simulate_duty_with_profile(d, &profile);
+        vec![Cell::F64(analytic.uw()), Cell::F64(simulated.uw())]
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+
     let mut v = TableWriter::new(&["Duty", "Analytic total", "Simulated total"]);
-    for &d in &[0.05, 0.02, 0.01, 1e-3] {
-        let analytic = figure6_sweep(&[d], atmel_cycles)[0].total;
-        let sim = simulate_duty(d);
-        v.row(&[format!("{d}"), analytic.to_string(), sim.to_string()]);
+    for row in results.rows() {
+        let cell = |c: &Cell| match c {
+            Cell::F64(x) => Power::from_uw(*x).to_string(),
+            other => other.to_string(),
+        };
+        v.row(&[row[0].to_string(), cell(&row[1]), cell(&row[2])]);
     }
     v.print();
+    println!("\nFleet: {speedup} (serial/parallel outputs byte-identical)");
     println!(
-        "\nReference deployments: volcano duty ≈ 0.12 (100 samples/s), \
+        "Reference deployments: volcano duty ≈ 0.12 (100 samples/s), \
          Great Duck Island ≈ 1e-4 (one sample per 70 s)."
     );
 }

@@ -1,0 +1,219 @@
+//! Seed-replication co-simulation sweeps on the parallel fleet engine.
+//!
+//! Scales the `ulp-net` lossy co-simulation (64–256 cycle-accurate
+//! nodes flooding towards a base station) across a node-count ×
+//! loss-rate × seed grid, one independent simulation per grid point,
+//! executed by `ulp_bench::fleet` on `ULP_FLEET_THREADS` workers and
+//! merged in grid order — the serialized results are byte-identical
+//! whatever the thread count.
+//!
+//! ```text
+//! cargo run --release -p ulp-bench --bin fleet -- --nodes 64,128 --seeds 16
+//! ```
+//!
+//! Flags:
+//!
+//! * `--nodes A[,B,…]` — node counts to sweep (default `64`)
+//! * `--loss  A[,B,…]` — loss probabilities to sweep (default `0.1`)
+//! * `--seeds N`       — seeds `0..N` per cell (default `8`)
+//! * `--slots N`       — horizon in 10 µs co-sim slots (default `12000`)
+//! * `--threads N`     — worker count (default `ULP_FLEET_THREADS`, else
+//!   the machine's available parallelism)
+//! * `--csv PATH` / `--json PATH` — write the machine-readable results
+//! * `--check`         — run the whole sweep twice (1 worker, then N),
+//!   assert CSV and JSON byte-identity, validate the JSON with the
+//!   in-tree parser, and report the wall-clock speedup
+//!
+//! A summary table and per-sweep wall-clock always go to stdout; a
+//! panicking grid point aborts with its scenario coordinates.
+
+use std::process::exit;
+
+use ulp_bench::cosim::{run_cosim, CosimConfig, CosimSummary};
+use ulp_bench::fleet::{self, Cell, Coords, Sweep, SweepResults};
+use ulp_bench::TableWriter;
+use ulp_sim::telemetry::validate_json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fleet [--nodes A[,B,..]] [--loss A[,B,..]] [--seeds N] \
+         [--slots N] [--threads N] [--csv FILE] [--json FILE] [--check]"
+    );
+    exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("{flag}: cannot parse `{s}`");
+                usage()
+            })
+        })
+        .collect()
+}
+
+/// The metric columns of one co-sim grid point, in declaration order.
+const METRICS: &[&str] = &[
+    "sent",
+    "delivered",
+    "lost",
+    "heard",
+    "radio_tx",
+    "mcu_wakeups",
+    "energy_j",
+    "service_p99",
+    "irqs_serviced",
+];
+
+fn cells(s: &CosimSummary) -> Vec<Cell> {
+    vec![
+        Cell::U64(s.sent),
+        Cell::U64(s.delivered),
+        Cell::U64(s.lost),
+        Cell::U64(s.heard),
+        Cell::U64(s.radio_tx),
+        Cell::U64(s.mcu_wakeups),
+        Cell::F64(s.energy_j),
+        Cell::U64(s.service_p99),
+        Cell::U64(s.irqs_serviced),
+    ]
+}
+
+fn build_sweep(
+    nodes: &[usize],
+    losses: &[f64],
+    seeds: u64,
+    slots: u64,
+) -> Sweep<CosimConfig> {
+    let mut sweep = Sweep::new("cosim-replication", METRICS);
+    for &n in nodes {
+        for &loss in losses {
+            for seed in 0..seeds {
+                sweep.push(
+                    Coords::new()
+                        .with("nodes", n)
+                        .with("loss", loss)
+                        .with("seed", seed),
+                    CosimConfig {
+                        nodes: n,
+                        loss,
+                        seed,
+                        horizon_slots: slots,
+                        ..CosimConfig::default()
+                    },
+                );
+            }
+        }
+    }
+    sweep
+}
+
+fn main() {
+    let mut nodes: Vec<usize> = vec![64];
+    let mut losses: Vec<f64> = vec![0.1];
+    let mut seeds: u64 = 8;
+    let mut slots: u64 = CosimConfig::default().horizon_slots;
+    let mut threads: usize = fleet::fleet_threads();
+    let mut csv_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--nodes" => nodes = parse_list("--nodes", &value("--nodes")),
+            "--loss" => losses = parse_list("--loss", &value("--loss")),
+            "--seeds" => seeds = parse_list::<u64>("--seeds", &value("--seeds"))[0],
+            "--slots" => slots = parse_list::<u64>("--slots", &value("--slots"))[0],
+            "--threads" => threads = parse_list::<usize>("--threads", &value("--threads"))[0].max(1),
+            "--csv" => csv_path = Some(value("--csv")),
+            "--json" => json_path = Some(value("--json")),
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    if nodes.is_empty() || losses.is_empty() || seeds == 0 {
+        eprintln!("empty grid");
+        usage();
+    }
+
+    let sweep = build_sweep(&nodes, &losses, seeds, slots);
+    eprintln!(
+        "fleet: {} grid points (nodes {nodes:?} x loss {losses:?} x {seeds} seeds), \
+         {slots} slots each, {threads} worker(s)",
+        sweep.len()
+    );
+
+    let eval = |_: &Coords, cfg: &CosimConfig| cells(&run_cosim(cfg));
+    let results: SweepResults = if check {
+        let (results, speedup) = fleet::measure_speedup(&sweep, threads, eval)
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1);
+            });
+        if let Err(e) = validate_json(&results.to_json()) {
+            eprintln!("sweep JSON failed validation: {e}");
+            exit(1);
+        }
+        eprintln!("check ok: ULP_FLEET_THREADS=1 and ={threads} byte-identical, JSON well-formed");
+        eprintln!("check: {speedup}");
+        results
+    } else {
+        sweep.run(threads, eval).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1);
+        })
+    };
+
+    let mut t = TableWriter::new(&[
+        "Nodes", "Loss", "Seed", "Sent", "Heard", "Lost", "Wakeups", "Energy", "p99",
+    ]);
+    for row in results.rows() {
+        let col = |name: &str| {
+            results.columns().iter().position(|c| c == name).expect("column")
+        };
+        let cell = |name: &str| row[col(name)].to_string();
+        let energy = match &row[col("energy_j")] {
+            Cell::F64(j) => format!("{:.3} uJ", j * 1e6),
+            other => other.to_string(),
+        };
+        t.row(&[
+            cell("nodes"),
+            cell("loss"),
+            cell("seed"),
+            cell("sent"),
+            cell("heard"),
+            cell("lost"),
+            cell("mcu_wakeups"),
+            energy,
+            cell("service_p99"),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n{} points in {:.3} s on {} worker(s)",
+        results.rows().len(),
+        results.elapsed().as_secs_f64(),
+        results.threads()
+    );
+
+    if let Some(path) = &csv_path {
+        std::fs::write(path, results.to_csv()).expect("write --csv");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &json_path {
+        std::fs::write(path, results.to_json()).expect("write --json");
+        eprintln!("wrote {path}");
+    }
+}

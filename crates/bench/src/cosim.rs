@@ -1,0 +1,235 @@
+//! Scalable multi-node lossy co-simulation: the seed-replication
+//! workload behind the `fleet` binary.
+//!
+//! The 4-node flood of `examples/multihop.rs` / `tests/determinism.rs`
+//! generalized to 64–256 cycle-accurate nodes on one shared broadcast
+//! [`Medium`]: one *head* node samples fast and floods its packets;
+//! every other node runs the same stage-3 forwarding application
+//! (CAM-deduplicated rebroadcast) and relays towards a listening base
+//! station. Each [`CosimConfig`] — node count × loss rate × seed ×
+//! horizon — is one grid point of a [`crate::fleet::Sweep`]; the run is
+//! a pure function of the config (asserted by `tests/fleet.rs`), so
+//! replicating it across many seeds in parallel yields
+//! confidence-interval-grade statistics for the dense-network energy
+//! studies the ROADMAP points at.
+//!
+//! The per-point [`CosimSummary`] condenses the whole run — channel
+//! counters, base-station goodput, per-node energy, µC wakeups, and the
+//! merged telemetry layer's EP service-latency tail — into one row of
+//! scalar cells, so a 256-node × 32-seed sweep serializes to a small
+//! CSV instead of gigabytes of traces.
+
+use ulp_apps::ulp::{monitoring, AppStage, MonitoringConfig, SamplePeriod};
+use ulp_core::slaves::RandomWalkSensor;
+use ulp_core::{System, SystemConfig};
+use ulp_net::{Medium, MediumConfig};
+use ulp_sim::{Cycles, Metrics, Simulatable, StepOutcome};
+
+/// One co-simulation grid point: everything that varies across the
+/// sweep, plus the shared horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimConfig {
+    /// Number of cycle-accurate nodes on the medium (one head + the
+    /// rest forwarding relays), excluding the listening base station.
+    pub nodes: usize,
+    /// Independent per-receiver frame-loss probability.
+    pub loss: f64,
+    /// Seed for the channel *and* (xor node index) each node's sensor.
+    pub seed: u64,
+    /// Simulation horizon in 10 µs slots (= node cycles at 100 kHz).
+    pub horizon_slots: u64,
+    /// Sample period of the head node, cycles.
+    pub head_period: u16,
+    /// Sample period of the relay nodes, cycles (longer than the
+    /// horizon by default: relays only forward).
+    pub relay_period: u16,
+}
+
+impl Default for CosimConfig {
+    fn default() -> CosimConfig {
+        CosimConfig {
+            nodes: 64,
+            loss: 0.1,
+            seed: 7,
+            horizon_slots: 12_000,
+            head_period: 3_000,
+            relay_period: 40_000,
+        }
+    }
+}
+
+/// Scalar summary of one co-simulation run: one CSV row per grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimSummary {
+    /// Frames transmitted on the medium.
+    pub sent: u64,
+    /// Frame deliveries (one per receiving endpoint).
+    pub delivered: u64,
+    /// Frame losses (one per receiving endpoint that missed one).
+    pub lost: u64,
+    /// Frames the base station heard (flood goodput, with duplicates).
+    pub heard: u64,
+    /// Radio transmissions summed over all nodes.
+    pub radio_tx: u64,
+    /// Microcontroller wakeups summed over all nodes (should stay 0:
+    /// forwarding is a regular event handled entirely by the EP).
+    pub mcu_wakeups: u64,
+    /// Total energy over all nodes, joules.
+    pub energy_j: f64,
+    /// Fleet-wide EP IRQ service-latency p99, cycles (from the merged
+    /// telemetry registry; 0 if no IRQ was ever queued).
+    pub service_p99: u64,
+    /// Fleet-wide count of serviced EP IRQs.
+    pub irqs_serviced: u64,
+}
+
+/// Run one co-simulation grid point to completion. Deterministic: the
+/// summary is a pure function of `cfg` (double-run asserted in
+/// `tests/fleet.rs`, thread-count invariance by the fleet engine's
+/// `--check` mode).
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes == 0`, if a node faults, or if a node halts —
+/// a failed scenario is precisely what the fleet engine's
+/// panic-with-coordinates reporting exists to surface.
+pub fn run_cosim(cfg: &CosimConfig) -> CosimSummary {
+    assert!(cfg.nodes >= 1, "co-sim needs at least the head node");
+    const SLOT_US: u64 = 10;
+    let mut medium = Medium::new(MediumConfig {
+        loss_probability: cfg.loss,
+        propagation_delay_us: 30,
+        seed: cfg.seed,
+    });
+    let mut nodes: Vec<(usize, System)> = (0..cfg.nodes as u16)
+        .map(|i| {
+            let program = monitoring(&MonitoringConfig {
+                stage: AppStage::Forwarding,
+                period: SamplePeriod::Cycles(if i == 0 {
+                    cfg.head_period
+                } else {
+                    cfg.relay_period
+                }),
+                samples_per_packet: 1,
+                threshold: 0,
+            });
+            let config = SystemConfig {
+                address: 2 + i,
+                dest: 0x0000,
+                ..SystemConfig::default()
+            };
+            let mut sys = program.build_system(
+                config,
+                Box::new(RandomWalkSensor::new(90, cfg.seed ^ i as u64)),
+            );
+            sys.set_telemetry(true);
+            (medium.register(), sys)
+        })
+        .collect();
+    let base = medium.register();
+    let mut heard = 0u64;
+    for cycle in 1..=cfg.horizon_slots {
+        let now_us = cycle * SLOT_US;
+        for (endpoint, node) in nodes.iter_mut() {
+            for d in medium.poll(*endpoint, now_us) {
+                node.schedule_rx(Cycles(cycle + 1), d.bytes);
+            }
+            if node.now() < Cycles(cycle) {
+                let outcome = node.step();
+                assert!(
+                    !matches!(outcome, StepOutcome::Halted),
+                    "node at endpoint {endpoint} halted"
+                );
+            }
+            for (at, bytes) in node.take_outbox() {
+                medium.transmit(*endpoint, at.0 * SLOT_US, &bytes);
+            }
+        }
+        heard += medium.poll(base, now_us).len() as u64;
+    }
+
+    let mut fleet = Metrics::new();
+    let mut radio_tx = 0u64;
+    let mut mcu_wakeups = 0u64;
+    let mut energy_j = 0.0f64;
+    for (endpoint, node) in &nodes {
+        assert!(
+            node.fault().is_none(),
+            "node at endpoint {endpoint} faulted: {:?}",
+            node.fault()
+        );
+        radio_tx += node.slaves().radio.stats().transmitted;
+        mcu_wakeups += node.mcu().stats().wakeups;
+        energy_j += node.meter().total_energy().joules();
+        fleet.merge(&node.telemetry_snapshot());
+    }
+    let (service_p99, irqs_serviced) = fleet
+        .histogram("irq.service_latency")
+        .map(|h| (h.percentile(0.99).unwrap_or(0), h.count()))
+        .unwrap_or((0, 0));
+    let stats = medium.stats();
+    CosimSummary {
+        sent: stats.sent,
+        delivered: stats.delivered,
+        lost: stats.lost,
+        heard,
+        radio_tx,
+        mcu_wakeups,
+        energy_j,
+        service_p99,
+        irqs_serviced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small instance (fast enough for the tier-1 path) must flood
+    /// frames through relays to the base station, lose some on a 10%
+    /// channel, and never wake a microcontroller.
+    #[test]
+    fn small_cosim_floods_and_stays_on_the_ep() {
+        let cfg = CosimConfig {
+            nodes: 8,
+            horizon_slots: 9_000,
+            ..CosimConfig::default()
+        };
+        let s = run_cosim(&cfg);
+        assert!(s.sent > 0, "head node must transmit: {s:?}");
+        assert!(s.heard > 0, "flood must reach the base station: {s:?}");
+        assert!(s.lost > 0, "10% loss over this horizon must drop frames");
+        assert!(
+            s.radio_tx > s.heard.min(2),
+            "relays must rebroadcast: {s:?}"
+        );
+        assert_eq!(
+            s.mcu_wakeups, 0,
+            "forwarding is a regular event; no µC should ever wake"
+        );
+        assert!(s.energy_j > 0.0);
+        assert!(s.irqs_serviced > 0);
+    }
+
+    #[test]
+    fn cosim_is_a_pure_function_of_its_config() {
+        let cfg = CosimConfig {
+            nodes: 6,
+            horizon_slots: 7_000,
+            ..CosimConfig::default()
+        };
+        assert_eq!(run_cosim(&cfg), run_cosim(&cfg));
+    }
+
+    #[test]
+    fn seed_steers_the_channel() {
+        let cfg = CosimConfig {
+            nodes: 6,
+            horizon_slots: 7_000,
+            ..CosimConfig::default()
+        };
+        let a = run_cosim(&cfg);
+        let b = run_cosim(&CosimConfig { seed: 8, ..cfg });
+        assert_ne!(a, b, "different seeds must draw different losses");
+    }
+}

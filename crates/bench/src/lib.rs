@@ -16,18 +16,26 @@
 //! | `fig5`   | Monitoring-application ISR listing |
 //! | `fig6`   | Power vs duty cycle (plus Atmel/MSP430 comparisons) |
 //! | `snap_compare` | blink/sense vs published SNAP numbers |
+//! | `ablations` | Design-choice ablations (§4.2, §5.2) |
 //!
-//! In addition, the `trace` binary is not tied to a paper table: it runs
-//! a reference workload with the telemetry layer enabled and dumps
+//! Three binaries are not tied to a single paper table: `trace` runs a
+//! reference workload with the telemetry layer enabled and dumps
 //! deterministic Chrome/Perfetto trace JSON, CSV timelines, and metrics
-//! summaries (see [`tracegen`]).
+//! summaries (see [`tracegen`]); `epcheck` statically verifies the event
+//! processor ISR programs the other binaries load (see [`epcheck`]); and
+//! `fleet` scales the lossy co-simulation (see [`cosim`]) across a
+//! node-count × loss-rate × seed grid on the deterministic parallel
+//! sweep engine (see [`fleet`]), whose serialized results are
+//! byte-identical whatever `ULP_FLEET_THREADS` says.
 //!
 //! The measurement functions live here so integration tests can assert
 //! on the same numbers the binaries print, and the deterministic report
 //! text lives in [`report`] so `tests/golden.rs` can pin the binaries'
 //! output byte-for-byte against checked-in golden files.
 
+pub mod cosim;
 pub mod epcheck;
+pub mod fleet;
 pub mod measure;
 pub mod report;
 pub mod table;

@@ -15,7 +15,9 @@ use std::fmt::Write as _;
 use crate::measure::{code_sizes, Table4Row};
 use crate::table::TableWriter;
 use ulp_apps::ulp::{stages, SamplePeriod};
-use ulp_apps::workload::{figure6_sweep, paper_duty_grid, profile_event};
+use ulp_apps::workload::{
+    figure6_sweep, figure6_sweep_with_profile, paper_duty_grid, profile_event, EventProfile,
+};
 use ulp_core::slaves::ConstSensor;
 use ulp_core::SystemConfig;
 use ulp_isa::ep::{decode_isr, Opcode};
@@ -449,6 +451,13 @@ fn uw(p: Power) -> String {
 /// full simulations, which is too slow to golden-test.)
 pub fn fig6_report(atmel_cycles: u64) -> String {
     let profile = profile_event();
+    fig6_report_with_profile(atmel_cycles, &profile)
+}
+
+/// [`fig6_report`] against an already-measured event profile, so the
+/// `fig6` binary's simulation cross-validation reuses the exact rows
+/// this report printed (one sweep definition, no drift).
+pub fn fig6_report_with_profile(atmel_cycles: u64, profile: &EventProfile) -> String {
     let mut out = String::from(
         "Figure 6: estimated power vs node duty cycle (sample-filter-transmit)\n\n",
     );
@@ -464,7 +473,7 @@ pub fn fig6_report(atmel_cycles: u64) -> String {
         100_000.0 / profile.event_cycles as f64
     );
 
-    let rows = figure6_sweep(&paper_duty_grid(), atmel_cycles);
+    let rows = figure6_sweep_with_profile(&paper_duty_grid(), atmel_cycles, profile);
     let mut t = TableWriter::new(&[
         "Duty",
         "Samples/s",

@@ -15,7 +15,7 @@
 //! * [`prop`] — a property-testing harness ([`props!`], generators,
 //!   greedy shrinking) with a `ULP_PROPTEST_CASES` knob and failing-seed
 //!   reporting via `ULP_PROPTEST_SEED`.
-//! * [`bench`] — a plain `std::time::Instant` micro-benchmark harness,
+//! * [`mod@bench`] — a plain `std::time::Instant` micro-benchmark harness,
 //!   the default stand-in for Criterion in `ulp-bench`'s bench targets.
 //!
 //! See DESIGN.md §"Hermetic test substrate" for the substitution table.

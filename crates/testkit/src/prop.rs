@@ -5,8 +5,8 @@
 //! # Model
 //!
 //! A property is a function from generated values to `()` that panics on
-//! violation (the [`prop_assert!`]-family macros are thin wrappers over
-//! `assert!`). The [`props!`] macro wires one or more properties to the
+//! violation (the [`prop_assert!`](crate::prop_assert)-family macros are thin wrappers over
+//! `assert!`). The [`props!`](crate::props) macro wires one or more properties to the
 //! runner:
 //!
 //! ```
@@ -456,7 +456,7 @@ where
 /// Execute `body` against `cfg.cases` generated inputs; on failure,
 /// greedily shrink and panic with the minimal input and the case seed.
 ///
-/// Normally invoked through the [`props!`] macro rather than directly.
+/// Normally invoked through the [`props!`](crate::props) macro rather than directly.
 ///
 /// # Panics
 ///
@@ -542,7 +542,7 @@ macro_rules! props {
     };
 }
 
-/// Implementation detail of [`props!`].
+/// Implementation detail of [`props!`](crate::props).
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __props_internal {

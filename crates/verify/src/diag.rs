@@ -34,7 +34,7 @@ pub enum DiagClass {
     /// that point of the ISR. *Fault* (`BusError::Gated`/`Sram`).
     PoweredOffAccess,
     /// Access to a component whose power state the analysis cannot
-    /// prove (caller marked it [`PowerState::Unknown`]).
+    /// prove (caller marked it [`PowerState::Unknown`](crate::PowerState::Unknown)).
     UnknownPowerAccess,
     /// `SWITCHON` of a component already on, or `SWITCHOFF` of one
     /// already off (a no-op burning fetch/execute cycles).

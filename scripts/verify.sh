@@ -21,8 +21,14 @@ cargo test -q --offline
 echo "== cargo test -q --workspace --offline =="
 cargo test -q --workspace --offline
 
+echo "== cargo test --doc --workspace --offline =="
+cargo test -q --doc --workspace --offline
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo doc --no-deps --workspace (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace --offline
 
 echo "== epcheck: shipped EP ISRs must lint clean =="
 cargo run -q -p ulp-bench --bin epcheck --offline > /dev/null
@@ -39,6 +45,12 @@ cargo run -q -p ulp-bench --bin trace --offline -- \
 test -s "$trace_out/trace.json"
 cargo run -q -p ulp-bench --bin trace --offline -- \
   --app mica2 --cycles 120000 --check > /dev/null
+
+echo "== fleet: parallel sweep must be thread-count invariant =="
+# --check double-runs a small co-sim grid (1 worker, then N), asserts
+# CSV/JSON byte-identity, and validates the JSON with the in-tree parser.
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --nodes 16 --seeds 4 --slots 4000 --check > /dev/null
 
 echo "== dependency closure must be in-tree only =="
 external=$(cargo tree --workspace --edges normal,build --prefix none --offline \
