@@ -1,0 +1,194 @@
+//! Deterministic fault-injection campaigns on the parallel fleet engine.
+//!
+//! Runs an app × fault-rate × seed grid of chaos points (see
+//! `ulp_bench::chaos`), each one an independent simulation with a
+//! seed-derived hardware fault plan and the graceful-degradation
+//! invariants asserted inline. Points execute on `ULP_FLEET_THREADS`
+//! workers and merge in grid order — the campaign summary is
+//! byte-identical whatever the thread count.
+//!
+//! ```text
+//! cargo run --release -p ulp-bench --bin chaos -- --rates 0,0.001,0.004 --seeds 8
+//! ```
+//!
+//! Flags:
+//!
+//! * `--apps A[,B,…]`  — applications to sweep: `app1`, `app2`, `app3`
+//!   (default `app1,app2`)
+//! * `--rates A[,B,…]` — fault rates (faults/cycle) to sweep (default
+//!   `0,0.001`; `0` is the fault-free baseline)
+//! * `--seeds N`       — seeds `0..N` per cell (default `4`)
+//! * `--horizon N`     — cycles per point (default `30000`)
+//! * `--threads N`     — worker count (default `ULP_FLEET_THREADS`, else
+//!   the machine's available parallelism)
+//! * `--csv PATH`      — write the machine-readable per-point results
+//! * `--summary PATH`  — write the deterministic campaign summary (the
+//!   artifact `tests/golden.rs` pins)
+//! * `--check`         — run the whole campaign twice (1 worker, then
+//!   N), assert CSV/JSON byte-identity and summary byte-identity,
+//!   validate the JSON with the in-tree parser, and report the
+//!   wall-clock speedup
+//!
+//! A violated degradation invariant aborts with the offending grid
+//! point's (app, rate, seed) coordinates.
+
+use std::process::exit;
+
+use ulp_bench::chaos::{campaign, campaign_summary, cells, run_chaos, ChaosApp, ChaosConfig};
+use ulp_bench::fleet::{self, Cell, Coords, SweepResults};
+use ulp_bench::TableWriter;
+use ulp_sim::telemetry::validate_json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--apps A[,B,..]] [--rates A[,B,..]] [--seeds N] \
+         [--horizon N] [--threads N] [--csv FILE] [--summary FILE] [--check]"
+    );
+    exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("{flag}: cannot parse `{s}`");
+                usage()
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut apps: Vec<ChaosApp> = vec![ChaosApp::Sample, ChaosApp::Filtered];
+    let mut rates: Vec<f64> = vec![0.0, 1e-3];
+    let mut seeds: u64 = 4;
+    let mut horizon: u64 = ChaosConfig::default().horizon;
+    let mut threads: usize = fleet::fleet_threads();
+    let mut csv_path: Option<String> = None;
+    let mut summary_path: Option<String> = None;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--apps" => {
+                apps = value("--apps")
+                    .split(',')
+                    .map(|s| {
+                        ChaosApp::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("--apps: unknown app `{s}` (app1|app2|app3)");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--rates" => rates = parse_list("--rates", &value("--rates")),
+            "--seeds" => seeds = parse_list::<u64>("--seeds", &value("--seeds"))[0],
+            "--horizon" => horizon = parse_list::<u64>("--horizon", &value("--horizon"))[0],
+            "--threads" => {
+                threads = parse_list::<usize>("--threads", &value("--threads"))[0].max(1)
+            }
+            "--csv" => csv_path = Some(value("--csv")),
+            "--summary" => summary_path = Some(value("--summary")),
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    if apps.is_empty() || rates.is_empty() || seeds == 0 {
+        eprintln!("empty grid");
+        usage();
+    }
+    if rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+        eprintln!("--rates must be in [0, 1] faults/cycle");
+        usage();
+    }
+
+    let sweep = campaign(&apps, &rates, seeds, horizon);
+    eprintln!(
+        "chaos: {} grid points ({} app(s) x rates {rates:?} x {seeds} seeds), \
+         {horizon} cycles each, {threads} worker(s)",
+        sweep.len(),
+        apps.len()
+    );
+
+    let eval = |_: &Coords, cfg: &ChaosConfig| cells(&run_chaos(cfg));
+    let results: SweepResults = if check {
+        let (results, speedup) =
+            fleet::measure_speedup(&sweep, threads, eval).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1);
+            });
+        if let Err(e) = validate_json(&results.to_json()) {
+            eprintln!("campaign JSON failed validation: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "check ok: ULP_FLEET_THREADS=1 and ={threads} byte-identical, JSON well-formed"
+        );
+        eprintln!("check: {speedup}");
+        results
+    } else {
+        sweep.run(threads, eval).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1);
+        })
+    };
+
+    let mut t = TableWriter::new(&[
+        "App", "Rate", "Seed", "Inj", "Abs", "Degr", "Fatal", "Sent", "Corrupt", "Halted",
+        "Energy",
+    ]);
+    for row in results.rows() {
+        let col =
+            |name: &str| results.columns().iter().position(|c| c == name).expect("column");
+        let cell = |name: &str| row[col(name)].to_string();
+        let energy = match &row[col("energy_j")] {
+            Cell::F64(j) => format!("{:.3} uJ", j * 1e6),
+            other => other.to_string(),
+        };
+        t.row(&[
+            cell("app"),
+            cell("rate"),
+            cell("seed"),
+            cell("injected"),
+            cell("absorbed"),
+            cell("degraded"),
+            cell("fatal"),
+            cell("sent"),
+            cell("corrupt"),
+            cell("halted"),
+            energy,
+        ]);
+    }
+    t.print();
+    let summary = campaign_summary(&results);
+    let aggregate = summary
+        .lines()
+        .last()
+        .unwrap_or("# aggregate: empty campaign");
+    println!(
+        "\n{aggregate}\n{} points in {:.3} s on {} worker(s)",
+        results.rows().len(),
+        results.elapsed().as_secs_f64(),
+        results.threads()
+    );
+
+    if let Some(path) = &csv_path {
+        std::fs::write(path, results.to_csv()).expect("write --csv");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &summary_path {
+        std::fs::write(path, &summary).expect("write --summary");
+        eprintln!("wrote {path}");
+    }
+}

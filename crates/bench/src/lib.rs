@@ -18,21 +18,24 @@
 //! | `snap_compare` | blink/sense vs published SNAP numbers |
 //! | `ablations` | Design-choice ablations (§4.2, §5.2) |
 //!
-//! Three binaries are not tied to a single paper table: `trace` runs a
+//! Four binaries are not tied to a single paper table: `trace` runs a
 //! reference workload with the telemetry layer enabled and dumps
 //! deterministic Chrome/Perfetto trace JSON, CSV timelines, and metrics
 //! summaries (see [`tracegen`]); `epcheck` statically verifies the event
-//! processor ISR programs the other binaries load (see [`epcheck`]); and
+//! processor ISR programs the other binaries load (see [`epcheck`]);
 //! `fleet` scales the lossy co-simulation (see [`cosim`]) across a
 //! node-count × loss-rate × seed grid on the deterministic parallel
 //! sweep engine (see [`fleet`]), whose serialized results are
-//! byte-identical whatever `ULP_FLEET_THREADS` says.
+//! byte-identical whatever `ULP_FLEET_THREADS` says; and `chaos` runs
+//! deterministic fault-injection campaigns (see [`chaos`]) on the same
+//! engine, asserting the graceful-degradation invariants per grid point.
 //!
 //! The measurement functions live here so integration tests can assert
 //! on the same numbers the binaries print, and the deterministic report
 //! text lives in [`report`] so `tests/golden.rs` can pin the binaries'
 //! output byte-for-byte against checked-in golden files.
 
+pub mod chaos;
 pub mod cosim;
 pub mod epcheck;
 pub mod fleet;

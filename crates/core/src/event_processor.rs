@@ -164,6 +164,19 @@ impl EventProcessor {
         self.reg
     }
 
+    /// Fault-injection hook: a supply brownout resets the EP control
+    /// logic. Any in-flight ISR is aborted — the machine snaps back to
+    /// `READY` and the temporary register clears, so the interrupt being
+    /// serviced (already taken from the arbiter at dispatch) is lost.
+    /// Cumulative statistics survive: they model observability counters,
+    /// not retention flops. Returns `true` when work was in flight.
+    pub fn abort_for_brownout(&mut self) -> bool {
+        let was_busy = !matches!(self.state, State::Ready);
+        self.state = State::Ready;
+        self.reg = 0;
+        was_busy
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> &EpStats {
         &self.stats
@@ -682,6 +695,36 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn brownout_abort_discards_inflight_isr_but_keeps_stats() {
+        let (mut ep, mut slaves, mut trace) =
+            setup(&[I::Read(0x0300), I::Write(0x0301), I::Terminate], 0);
+        slaves.mem.poke(0x0300, 0x77);
+        let wake = WakeLatency::paper();
+        // Run a few cycles: dispatch + lookup + first fetch.
+        for c in 0..4u64 {
+            ep.step(&mut slaves, true, &wake, &mut trace, Cycles(c))
+                .unwrap();
+        }
+        assert!(!ep.is_ready(), "mid-ISR");
+        let wait_bus_before = ep.stats().wait_bus_cycles;
+        let active_before = ep.stats().active_cycles;
+        assert!(ep.abort_for_brownout());
+        assert!(ep.is_ready());
+        assert_eq!(ep.reg(), 0, "temporary register cleared");
+        assert_eq!(ep.stats().active_cycles, active_before);
+        assert_eq!(ep.stats().wait_bus_cycles, wait_bus_before);
+        assert_eq!(ep.stats().events, 0, "the aborted ISR never completed");
+        // The interrupt was consumed at dispatch: the EP now idles.
+        let a = ep
+            .step(&mut slaves, true, &wake, &mut trace, Cycles(5))
+            .unwrap();
+        assert_eq!(a, EpAction::Idle);
+        assert_eq!(slaves.mem.peek(0x0301), Some(0), "write never landed");
+        // Aborting an idle EP reports nothing in flight.
+        assert!(!ep.abort_for_brownout());
     }
 
     #[test]

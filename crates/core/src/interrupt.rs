@@ -35,6 +35,7 @@ pub struct InterruptArbiter {
     raised: u64,
     dropped: u64,
     taken: u64,
+    cleared: u64,
 }
 
 impl Default for InterruptArbiter {
@@ -57,6 +58,7 @@ impl InterruptArbiter {
             raised: 0,
             dropped: 0,
             taken: 0,
+            cleared: 0,
         }
     }
 
@@ -114,6 +116,13 @@ impl InterruptArbiter {
         self.pending.iter().any(|&p| p)
     }
 
+    /// Number of currently pending (raised, not yet taken) interrupts.
+    /// Together with the counters this pins event conservation:
+    /// `raised == taken + cleared + pending_count`.
+    pub fn pending_count(&self) -> u64 {
+        self.pending.iter().filter(|&&p| p).count() as u64
+    }
+
     /// Whether a specific interrupt is pending.
     pub fn is_pending(&self, id: u8) -> bool {
         self.pending[id as usize]
@@ -141,6 +150,41 @@ impl InterruptArbiter {
         Some((id as u8, waited))
     }
 
+    /// Fault-injection hook: lose the pending edge on line `id` before
+    /// the arbiter grants it, as a glitch on the interrupt bus would.
+    /// Returns `true` if an edge was actually pending (and is now lost —
+    /// counted in [`cleared`](InterruptArbiter::cleared), separate from
+    /// the overload [`dropped`](InterruptArbiter::dropped) counter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid 6-bit interrupt id.
+    pub fn clear_pending(&mut self, id: u8) -> bool {
+        let slot = &mut self.pending[id as usize];
+        if *slot {
+            *slot = false;
+            self.cleared += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fault-injection hook: lose *every* pending edge (a brownout
+    /// resets the latch array). Returns how many edges were lost; each
+    /// is counted in [`cleared`](InterruptArbiter::cleared).
+    pub fn clear_all_pending(&mut self) -> u64 {
+        let mut n = 0;
+        for slot in &mut self.pending {
+            if *slot {
+                *slot = false;
+                n += 1;
+            }
+        }
+        self.cleared += n;
+        n
+    }
+
     /// Events raised successfully.
     pub fn raised(&self) -> u64 {
         self.raised
@@ -149,6 +193,12 @@ impl InterruptArbiter {
     /// Events dropped due to overload.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Pending edges lost to injected faults (glitches, brownouts) —
+    /// never incremented outside the fault-injection hooks.
+    pub fn cleared(&self) -> u64 {
+        self.cleared
     }
 
     /// Events taken by the event processor.
@@ -227,6 +277,24 @@ mod tests {
         // Wait is still reported, but the histogram stays empty.
         assert_eq!(a.take_with_latency(), Some((2, 40)));
         assert!(a.service_latency().is_empty());
+    }
+
+    #[test]
+    fn fault_clear_hooks_count_separately_from_overload() {
+        let mut a = InterruptArbiter::new();
+        a.raise(1);
+        a.raise(1); // overload drop
+        assert!(a.clear_pending(1), "pending edge lost");
+        assert!(!a.clear_pending(1), "nothing left to lose");
+        assert_eq!(a.take(), None, "the edge really is gone");
+        a.raise(2);
+        a.raise(7);
+        assert_eq!(a.clear_all_pending(), 2);
+        assert!(!a.any_pending());
+        assert_eq!(a.cleared(), 3);
+        assert_eq!(a.dropped(), 1, "overload accounting untouched");
+        assert_eq!(a.raised(), 3);
+        assert_eq!(a.taken(), 0);
     }
 
     #[test]

@@ -154,6 +154,10 @@ pub struct Slaves {
     now: Cycles,
     lint_enabled: bool,
     lints: Vec<BusLint>,
+    /// Fault-injection state: per-peripheral "handshake line stuck until
+    /// cycle N". All-zero (the default) is the healthy fast path — one
+    /// comparison per real switch-on.
+    stuck_until: [u64; 5],
 }
 
 impl fmt::Debug for Slaves {
@@ -183,6 +187,7 @@ impl Slaves {
             now: Cycles::ZERO,
             lint_enabled: false,
             lints: Vec::new(),
+            stuck_until: [0; 5],
         }
     }
 
@@ -199,6 +204,32 @@ impl Slaves {
     /// Take and clear the lint observations recorded so far.
     pub fn take_lints(&mut self) -> Vec<BusLint> {
         std::mem::take(&mut self.lints)
+    }
+
+    /// Fault-injection hook: stick the power-gating handshake line of
+    /// peripheral `id` (0 = timer … 4 = sensor) until cycle `until` —
+    /// the next real switch-on before then waits out the remainder of
+    /// the window before the peripheral acknowledges.
+    ///
+    /// Returns `false` (the fault is absorbed) when `id` is not a
+    /// handshake-gated peripheral or the peripheral is currently
+    /// powered: its ready line is already asserted, so a stuck line has
+    /// nothing to delay.
+    pub fn stick_handshake(&mut self, id: u8, until: Cycles) -> bool {
+        let powered = match id {
+            0 => self.timer.powered(),
+            1 => self.filter.powered(),
+            2 => self.msgproc.powered(),
+            3 => self.radio.powered(),
+            4 => self.sensor.powered(),
+            _ => return false,
+        };
+        if powered {
+            return false;
+        }
+        let slot = &mut self.stuck_until[id as usize];
+        *slot = (*slot).max(until.0);
+        true
     }
 
     /// Advance all slaves one cycle, raising completion interrupts.
@@ -447,7 +478,15 @@ impl Slaves {
             (Component::MemBank0, None) => unreachable!("decode always returns a bank"),
         }
         Ok(if on {
-            wake.of(component, bank)
+            let mut lat = wake.of(component, bank);
+            // A stuck handshake line (fault injection) delays the
+            // acknowledge until the stuck window ends; one-shot.
+            let idx = id as usize;
+            if idx < 5 && self.stuck_until[idx] > self.now.0 {
+                lat += Cycles(self.stuck_until[idx] - self.now.0);
+                self.stuck_until[idx] = 0;
+            }
+            lat
         } else {
             Cycles::ZERO
         })
@@ -701,6 +740,31 @@ mod tests {
         s.set_power(4, false, &wake).unwrap();
         s.set_lint(false);
         assert!(s.take_lints().is_empty());
+    }
+
+    #[test]
+    fn stuck_handshake_delays_next_switch_on() {
+        let mut s = slaves();
+        let wake = WakeLatency::paper();
+        // Sensor (id 4, wake 2) starts gated; stick its line until cycle 10.
+        s.tick(Cycles(4));
+        assert!(s.stick_handshake(4, Cycles(10)));
+        assert_eq!(
+            s.set_power(4, true, &wake).unwrap(),
+            Cycles(2 + 6),
+            "wake latency plus the stuck-window remainder"
+        );
+        // One-shot: the next cycle of the line is healthy again.
+        s.set_power(4, false, &wake).unwrap();
+        assert_eq!(s.set_power(4, true, &wake).unwrap(), Cycles(2));
+        // Absorbed cases: powered peripheral, non-handshake target.
+        assert!(!s.stick_handshake(4, Cycles(99)), "sensor is on: ready line up");
+        assert!(!s.stick_handshake(9, Cycles(99)), "not a gated peripheral");
+        // A stuck window that expires before the switch-on adds nothing.
+        s.set_power(4, false, &wake).unwrap();
+        assert!(s.stick_handshake(4, Cycles(6)));
+        s.tick(Cycles(8));
+        assert_eq!(s.set_power(4, true, &wake).unwrap(), Cycles(2));
     }
 
     #[test]

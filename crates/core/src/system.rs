@@ -9,6 +9,7 @@ use crate::power::{SystemPower, WakeLatency};
 use crate::slaves::{BusError, SensorBlock, SensorModel, Slaves};
 use std::collections::VecDeque;
 use std::fmt;
+use ulp_sim::fault::{FaultDisposition, FaultKind, FaultPlan, FaultStats};
 use ulp_sim::telemetry::{Log2Histogram, Metrics};
 use ulp_sim::{
     Cycles, Energy, EnergyMeter, Frequency, MeterId, Power, PowerMode, PowerSpec, Simulatable,
@@ -56,13 +57,25 @@ impl Default for SystemConfig {
     }
 }
 
-/// A fatal simulation fault (an ISR or handler bug).
+/// Injected supply sags of at least this many cycles exceed the
+/// survivable envelope: retention flops lose state and the node halts
+/// (a [`SystemFault::Brownout`]). Shorter sags reset the control fabric
+/// (EP, arbiter, µC) but the node recovers.
+pub const BROWNOUT_FATAL_CYCLES: u64 = 64;
+
+/// A fatal simulation fault (an ISR or handler bug, or an injected
+/// hardware fault beyond the survivable envelope).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SystemFault {
     /// Event-processor bus fault.
     Bus(BusError),
     /// Microcontroller fault.
     Mcu(McuError),
+    /// Injected supply sag of [`BROWNOUT_FATAL_CYCLES`] or more.
+    Brownout {
+        /// Sag duration in cycles.
+        duration: u16,
+    },
 }
 
 impl fmt::Display for SystemFault {
@@ -70,6 +83,9 @@ impl fmt::Display for SystemFault {
         match self {
             SystemFault::Bus(e) => write!(f, "event processor: {e}"),
             SystemFault::Mcu(e) => write!(f, "{e}"),
+            SystemFault::Brownout { duration } => {
+                write!(f, "brownout: {duration}-cycle supply sag below retention")
+            }
         }
     }
 }
@@ -124,6 +140,14 @@ pub struct System {
     epoch_busy_mark: Cycles,
     /// Radio TX line state last cycle (edge detector for trace events).
     prev_transmitting: bool,
+    /// Scheduled hardware faults (`None` — the default — keeps the hot
+    /// path to a single branch, mirroring the telemetry contract).
+    fault_plan: Option<FaultPlan>,
+    /// Disposition tally of injected faults.
+    fault_stats: FaultStats,
+    /// Outgoing frames still to be corrupted by injected radio byte
+    /// errors (one byte per frame while nonzero).
+    tx_corrupt_remaining: u32,
 }
 
 impl fmt::Debug for System {
@@ -179,6 +203,9 @@ impl System {
             bus_occupancy_hist: Log2Histogram::new(),
             epoch_busy_mark: Cycles::ZERO,
             prev_transmitting: false,
+            fault_plan: None,
+            fault_stats: FaultStats::default(),
+            tx_corrupt_remaining: 0,
         }
     }
 
@@ -294,8 +321,38 @@ impl System {
                 m.counter_add(&format!("irq.events.{irq}"), n);
             }
         }
+        // Fault-injection counters appear only once a fault has actually
+        // been injected, so unfaulted snapshots stay byte-identical.
+        let f = self.fault_stats;
+        if f.injected > 0 {
+            m.counter_add("fault.injected", f.injected);
+            m.counter_add("fault.absorbed", f.absorbed);
+            m.counter_add("fault.degraded", f.degraded);
+            m.counter_add("fault.fatal", f.fatal);
+        }
+        if self.slaves.irqs.cleared() > 0 {
+            m.counter_add("irq.fault_cleared", self.slaves.irqs.cleared());
+        }
         m.counter_add("trace.dropped", self.trace.dropped());
         m
+    }
+
+    /// Install a deterministic hardware [`FaultPlan`]. Faults inject at
+    /// their scheduled cycle (idle-skip never fast-forwards past one);
+    /// every injection is traced as `FaultInjected`/`FaultAbsorbed` and
+    /// tallied in [`fault_stats`](System::fault_stats). An empty plan is
+    /// discarded, keeping the unfaulted hot path to a single branch.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = if plan.events().is_empty() {
+            None
+        } else {
+            Some(plan)
+        };
+    }
+
+    /// Disposition tally of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// The fatal fault, if the simulation hit one.
@@ -428,6 +485,12 @@ impl System {
         // service-latency measurement and IrqAssert trace events.
         self.slaves.irqs.set_now(now);
 
+        // Inject scheduled hardware faults. The plan is `None` unless a
+        // non-empty one was installed, so the healthy path is one branch.
+        if self.fault_plan.is_some() && self.apply_due_faults(now) {
+            return StepOutcome::Halted;
+        }
+
         // Deliver due frames from the medium.
         while let Some((at, _)) = self.rx_queue.front() {
             if *at > now {
@@ -552,8 +615,21 @@ impl System {
         }
         self.prev_transmitting = transmitting;
 
-        // Collect completed transmissions.
-        let sent = self.slaves.radio.take_outbox();
+        // Collect completed transmissions. Injected radio byte errors
+        // corrupt one byte per outgoing frame while the burst lasts.
+        let mut sent = self.slaves.radio.take_outbox();
+        if self.tx_corrupt_remaining > 0 {
+            for (_, bytes) in sent.iter_mut() {
+                if self.tx_corrupt_remaining == 0 {
+                    break;
+                }
+                let mid = bytes.len() / 2;
+                if let Some(b) = bytes.get_mut(mid) {
+                    *b ^= 0x40;
+                }
+                self.tx_corrupt_remaining -= 1;
+            }
+        }
         for (_, bytes) in &sent {
             self.trace.record(
                 now,
@@ -684,6 +760,119 @@ impl System {
         self.slaves.mem.tick(cycles);
         self.sync_memory_energy();
     }
+
+    // ------------------------------------------------------------------
+    // Hardware fault injection
+    // ------------------------------------------------------------------
+
+    /// Inject every fault due at `now`, recording each as a
+    /// `FaultInjected`/`FaultAbsorbed` pair. Returns `true` when a fatal
+    /// fault halted the machine (remaining faults never land on a dead
+    /// node).
+    fn apply_due_faults(&mut self, now: Cycles) -> bool {
+        let mut plan = self.fault_plan.take().expect("caller checked is_some");
+        let mut halted = false;
+        while let Some(e) = plan.next_due(now) {
+            self.trace
+                .record(now, "fault", TraceKind::FaultInjected { fault: e.kind });
+            let disposition = self.apply_fault(now, e.kind);
+            self.fault_stats.record(disposition);
+            self.trace.record(
+                now,
+                "fault",
+                TraceKind::FaultAbsorbed {
+                    fault: e.kind,
+                    disposition,
+                },
+            );
+            if disposition == FaultDisposition::Fatal {
+                let duration = match e.kind {
+                    FaultKind::Brownout { duration } => duration,
+                    _ => unreachable!("only brownouts are fatal"),
+                };
+                self.fault = Some(SystemFault::Brownout { duration });
+                halted = true;
+                break;
+            }
+        }
+        self.fault_plan = Some(plan);
+        halted
+    }
+
+    /// Land one fault and classify what the machine observed.
+    fn apply_fault(&mut self, now: Cycles, kind: FaultKind) -> FaultDisposition {
+        match kind {
+            FaultKind::SramBitFlip { addr, bit, .. } => {
+                // Gated banks and out-of-array strikes are absorbed:
+                // gated contents are lost (and zeroed on wake) anyway.
+                if self.slaves.mem.flip_bit(addr, bit) {
+                    FaultDisposition::Degraded
+                } else {
+                    FaultDisposition::Absorbed
+                }
+            }
+            FaultKind::StuckHandshake { component, cycles } => {
+                if self
+                    .slaves
+                    .stick_handshake(component, now + Cycles(cycles as u64))
+                {
+                    FaultDisposition::Degraded
+                } else {
+                    FaultDisposition::Absorbed
+                }
+            }
+            FaultKind::DroppedIrq { line } => {
+                if (line as usize) < map::NUM_IRQS && self.slaves.irqs.clear_pending(line) {
+                    FaultDisposition::Degraded
+                } else {
+                    FaultDisposition::Absorbed
+                }
+            }
+            FaultKind::SpuriousIrq { line } => {
+                // A glitch on an already-latched line merges with the
+                // real edge (one-deep pending); on an idle line it
+                // injects a ghost event that flows through the normal
+                // dispatch path.
+                if (line as usize) >= map::NUM_IRQS || self.slaves.irqs.is_pending(line) {
+                    FaultDisposition::Absorbed
+                } else {
+                    self.slaves.irqs.raise(line);
+                    FaultDisposition::Degraded
+                }
+            }
+            FaultKind::RadioByteError { burst } => {
+                // Channel noise only matters while the radio is powered;
+                // the corruption lands on the next `burst` frames.
+                if self.slaves.radio.powered() {
+                    self.tx_corrupt_remaining += burst as u32;
+                    FaultDisposition::Degraded
+                } else {
+                    FaultDisposition::Absorbed
+                }
+            }
+            FaultKind::Brownout { duration } => {
+                if duration as u64 >= BROWNOUT_FATAL_CYCLES {
+                    return FaultDisposition::Fatal;
+                }
+                if self.is_quiescent() {
+                    // Nothing in flight: the sag passes unnoticed.
+                    return FaultDisposition::Absorbed;
+                }
+                // A short sag resets the control fabric: pending edges
+                // are lost (counted), the EP aborts its in-flight ISR,
+                // and a running µC handler dies back to sleep.
+                // Peripheral-internal state machines sit on separate
+                // power islands and ride the sag out.
+                self.slaves.irqs.clear_all_pending();
+                self.ep.abort_for_brownout();
+                if self.mcu.powered() {
+                    self.mcu.sleep();
+                    self.trace.record(now, "mcu", TraceKind::McuSleep);
+                }
+                FaultDisposition::Degraded
+            }
+        }
+    }
 }
 
 impl Simulatable for System {
@@ -705,10 +894,14 @@ impl Simulatable for System {
             .rx_queue
             .front()
             .map(|(at, _)| Cycles(at.0.saturating_sub(1).max(self.now.0)));
-        match (timer, rx) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        // Idle-skip must never fast-forward past a scheduled fault: stop
+        // one cycle short so the stepped cycle lands the injection.
+        let fault = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.next_at())
+            .map(|at| Cycles(at.0.saturating_sub(1).max(self.now.0)));
+        [timer, rx, fault].into_iter().flatten().min()
     }
 
     fn skip_to(&mut self, target: Cycles) {
@@ -1079,6 +1272,250 @@ mod tests {
         let sys = engine.machine();
         assert!(sys.fault().is_none());
         assert!(sys.slaves().irqs.dropped() > 0, "overload must drop events");
+    }
+
+    #[test]
+    fn dropped_irq_fault_loses_event_loudly() {
+        let mut sys = monitoring_system(1000);
+        sys.trace_mut().set_enabled(true);
+        sys.inject_irq(Irq::Timer0.id()); // pending before cycle 1
+        let mut plan = FaultPlan::new();
+        plan.push(Cycles(1), FaultKind::DroppedIrq { line: Irq::Timer0.id() });
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(500));
+        let sys = engine.machine();
+        assert!(sys.fault().is_none());
+        let stats = sys.fault_stats();
+        assert_eq!(stats.injected, 1);
+        assert_eq!(stats.degraded, 1, "a pending edge really was lost");
+        assert_eq!(sys.slaves().irqs.cleared(), 1);
+        assert_eq!(sys.ep().stats().events, 0, "the dropped event never ran");
+        // Every injection appears in the trace with its disposition.
+        let injected = sys
+            .trace()
+            .events()
+            .filter(|e| matches!(e.kind, TraceKind::FaultInjected { .. }))
+            .count();
+        let classified = sys
+            .trace()
+            .events()
+            .filter(|e| matches!(e.kind, TraceKind::FaultAbsorbed { .. }))
+            .count();
+        assert_eq!((injected, classified), (1, 1));
+        // Event conservation closes with the cleared term.
+        let irqs = &sys.slaves().irqs;
+        assert_eq!(
+            irqs.raised(),
+            irqs.taken() + irqs.cleared() + irqs.pending_count()
+        );
+        // The loss shows up in the telemetry snapshot (not silent).
+        let m = sys.telemetry_snapshot();
+        assert_eq!(m.counter("fault.injected"), Some(1));
+        assert_eq!(m.counter("fault.degraded"), Some(1));
+        assert_eq!(m.counter("irq.fault_cleared"), Some(1));
+    }
+
+    #[test]
+    fn spurious_irq_fault_triggers_ghost_event() {
+        let mut sys = monitoring_system(10_000);
+        let mut plan = FaultPlan::new();
+        plan.push(Cycles(200), FaultKind::SpuriousIrq { line: Irq::Timer0.id() });
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(5_000));
+        let sys = engine.machine_mut();
+        assert!(sys.fault().is_none(), "fault: {:?}", sys.fault());
+        assert_eq!(sys.fault_stats().degraded, 1);
+        // The ghost event ran the full sample→send path before the
+        // first real timer alarm at 10 000.
+        assert_eq!(sys.slaves().radio.stats().transmitted, 1);
+        assert_eq!(sys.take_outbox().len(), 1);
+    }
+
+    #[test]
+    fn sram_bit_flip_corrupts_live_byte_and_is_absorbed_on_gated_bank() {
+        let mut sys = system();
+        sys.slaves_mut().mem.poke(0x0312, 0x0F);
+        sys.slaves_mut().mem.gate_bank(7);
+        let mut plan = FaultPlan::new();
+        plan.push(
+            Cycles(5),
+            FaultKind::SramBitFlip { bank: 3, addr: 0x0312, bit: 7 },
+        );
+        plan.push(
+            Cycles(6),
+            FaultKind::SramBitFlip { bank: 7, addr: 0x0700, bit: 0 },
+        );
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(10));
+        let sys = engine.machine();
+        assert_eq!(sys.slaves().mem.peek(0x0312), Some(0x8F));
+        let stats = sys.fault_stats();
+        assert_eq!(stats.injected, 2);
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.absorbed, 1, "gated-bank strike absorbed");
+    }
+
+    #[test]
+    fn long_brownout_is_fatal_with_recorded_fault() {
+        let mut sys = monitoring_system(1000);
+        sys.trace_mut().set_enabled(true);
+        let mut plan = FaultPlan::new();
+        plan.push(Cycles(700), FaultKind::Brownout { duration: 100 });
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        let stats = engine.run_for(Cycles(5_000));
+        assert!(stats.halted);
+        let sys = engine.machine();
+        assert_eq!(
+            sys.fault(),
+            Some(&SystemFault::Brownout { duration: 100 })
+        );
+        assert_eq!(sys.fault_stats().fatal, 1);
+        assert!(sys
+            .trace()
+            .events()
+            .any(|e| matches!(
+                e.kind,
+                TraceKind::FaultAbsorbed {
+                    disposition: FaultDisposition::Fatal,
+                    ..
+                }
+            )));
+        assert!(sys.fault().unwrap().to_string().contains("brownout"));
+    }
+
+    #[test]
+    fn short_brownout_aborts_inflight_work_and_recovers() {
+        // Timer fires at 1000; the send path is busy for ~100 cycles.
+        // A short sag at 1005 lands mid-ISR: work aborts, node recovers,
+        // and the next period completes normally.
+        let mut sys = monitoring_system(1000);
+        let mut plan = FaultPlan::new();
+        plan.push(Cycles(1005), FaultKind::Brownout { duration: 4 });
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(2_500));
+        let sys = engine.machine_mut();
+        assert!(sys.fault().is_none(), "short sag must not halt");
+        assert_eq!(sys.fault_stats().degraded, 1);
+        assert_eq!(
+            sys.take_outbox().len(),
+            1,
+            "period 1 was killed by the sag; period 2 transmitted"
+        );
+    }
+
+    #[test]
+    fn quiescent_brownout_is_absorbed() {
+        let mut sys = monitoring_system(10_000);
+        let mut plan = FaultPlan::new();
+        plan.push(Cycles(500), FaultKind::Brownout { duration: 4 });
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(1_000));
+        assert_eq!(engine.machine().fault_stats().absorbed, 1);
+    }
+
+    #[test]
+    fn radio_byte_error_corrupts_next_frame() {
+        let mut sys = monitoring_system(1000);
+        let mut plan = FaultPlan::new();
+        // The radio powers on mid-send-path (~cycle 1040); corrupt while
+        // it is on so the burst arms.
+        plan.push(Cycles(1080), FaultKind::RadioByteError { burst: 1 });
+        plan.push(Cycles(10), FaultKind::RadioByteError { burst: 1 });
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(2_500));
+        let sys = engine.machine_mut();
+        assert!(sys.fault().is_none());
+        let stats = sys.fault_stats();
+        assert_eq!(stats.absorbed, 1, "radio off at cycle 10: absorbed");
+        assert_eq!(stats.degraded, 1);
+        let out = sys.take_outbox();
+        assert_eq!(out.len(), 2);
+        assert!(
+            ulp_net::Frame::decode(&out[0].1).is_err(),
+            "first frame corrupted on air"
+        );
+        assert!(ulp_net::Frame::decode(&out[1].1).is_ok(), "burst of one");
+    }
+
+    #[test]
+    fn stuck_handshake_fault_delays_but_preserves_function() {
+        let mut clean = Engine::new(monitoring_system(1000));
+        clean.run_for(Cycles(2_500));
+        let clean_busy = clean.machine().busy_cycles();
+
+        let mut sys = monitoring_system(1000);
+        let mut plan = FaultPlan::new();
+        // Sensor (component 4) is off between events; stick its line
+        // across the timer alarm at 1000 so the SWITCHON stalls longer.
+        plan.push(
+            Cycles(900),
+            FaultKind::StuckHandshake { component: 4, cycles: 150 },
+        );
+        sys.set_fault_plan(plan);
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(2_500));
+        let sys = engine.machine_mut();
+        assert!(sys.fault().is_none());
+        assert_eq!(sys.fault_stats().degraded, 1);
+        assert!(
+            sys.busy_cycles() > clean_busy,
+            "stuck handshake cost extra stall cycles: {} vs {clean_busy}",
+            sys.busy_cycles()
+        );
+        assert_eq!(sys.take_outbox().len(), 2, "both periods still sent");
+    }
+
+    #[test]
+    fn fault_injection_survives_fast_forward() {
+        // Idle-skip must not leap over a scheduled fault: the same plan
+        // produces identical observable state with and without it.
+        let run = |ff: bool| {
+            let mut sys = monitoring_system(1000);
+            sys.set_fault_plan(FaultPlan::generate(0xFA017, 40_000, 12));
+            let mut engine = Engine::new(sys);
+            engine.set_fast_forward(ff);
+            engine.run_for(Cycles(50_000));
+            let mut sys = engine.into_machine();
+            (
+                sys.fault_stats(),
+                sys.busy_cycles(),
+                sys.take_outbox().len(),
+                sys.meter().total_energy().joules(),
+                sys.now(),
+            )
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(
+            (a.0, a.1, a.2, a.4),
+            (b.0, b.1, b.2, b.4),
+            "fast-forward changed a faulted run"
+        );
+        // Lump-sum idle charging differs from per-cycle accumulation only
+        // by float associativity (same tolerance as the clean-run test).
+        assert!((a.3 - b.3).abs() < 1e-15, "energy must match: {} vs {}", a.3, b.3);
+        assert_eq!(a.0.injected, 12, "every scheduled fault landed");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_discarded_and_changes_nothing() {
+        let mut sys = monitoring_system(1000);
+        sys.set_fault_plan(FaultPlan::new());
+        let mut engine = Engine::new(sys);
+        engine.run_for(Cycles(5_000));
+        let mut sys = engine.into_machine();
+        assert_eq!(sys.fault_stats().injected, 0);
+        assert_eq!(sys.take_outbox().len(), 4, "same as the unfaulted run");
+        let m = sys.telemetry_snapshot();
+        assert_eq!(m.counter("fault.injected"), None, "no fault keys appear");
+        assert_eq!(m.counter("irq.fault_cleared"), None);
     }
 
     #[test]

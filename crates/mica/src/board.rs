@@ -7,6 +7,7 @@ use std::collections::VecDeque;
 use ulp_isa::asm::Image;
 use ulp_mcu8::{Bus, Cpu};
 use ulp_net::PhyTiming;
+use ulp_sim::fault::{FaultDisposition, FaultKind};
 use ulp_sim::telemetry::{Log2Histogram, Metrics};
 use ulp_sim::{Cycles, Simulatable, StepOutcome, TraceBuffer, TraceKind};
 
@@ -430,6 +431,86 @@ impl Mica2Board {
     /// Write a RAM byte (test setup).
     pub fn poke_ram(&mut self, addr: u16, value: u8) {
         self.bus.ram_write(addr, value);
+    }
+
+    /// Record a fault injection and its observed disposition into the
+    /// board trace (no-ops while the trace is disabled, like every other
+    /// probe).
+    fn record_fault(&mut self, fault: FaultKind, disposition: FaultDisposition) {
+        self.trace
+            .record(self.now, "fault", TraceKind::FaultInjected { fault });
+        self.trace.record(
+            self.now,
+            "fault",
+            TraceKind::FaultAbsorbed { fault, disposition },
+        );
+    }
+
+    /// Fault-injection hook: assert interrupt vector `v` with no
+    /// hardware cause (an EMI ghost edge). Returns `true` if the ghost
+    /// perturbed state (degraded) — `false` means it was absorbed
+    /// because the vector was already pending (one-deep AVR flag) or
+    /// out of range. Either way the injection is traced.
+    pub fn inject_spurious_irq(&mut self, v: u8) -> bool {
+        let fault = FaultKind::SpuriousIrq { line: v };
+        let degraded = v < 8 && self.bus.pending & (1 << v) == 0;
+        if degraded {
+            self.bus.raise(v);
+        }
+        self.record_fault(
+            fault,
+            if degraded {
+                FaultDisposition::Degraded
+            } else {
+                FaultDisposition::Absorbed
+            },
+        );
+        degraded
+    }
+
+    /// Fault-injection hook: lose the pending edge on vector `v` before
+    /// the CPU dispatches it. Returns `true` if an edge was actually
+    /// pending (degraded); `false` means absorbed (nothing to lose).
+    pub fn drop_pending_irq(&mut self, v: u8) -> bool {
+        let fault = FaultKind::DroppedIrq { line: v };
+        let degraded = v < 8 && self.bus.pending & (1 << v) != 0;
+        if degraded {
+            self.bus.pending &= !(1 << v);
+            self.bus.sleep_at_assert &= !(1 << v);
+        }
+        self.record_fault(
+            fault,
+            if degraded {
+                FaultDisposition::Degraded
+            } else {
+                FaultDisposition::Absorbed
+            },
+        );
+        degraded
+    }
+
+    /// Fault-injection hook: flip bit `bit & 7` of the RAM byte at data
+    /// address `addr`. Returns `true` if a mapped byte was hit
+    /// (degraded); addresses outside RAM absorb the upset. The Mica2 has
+    /// a single always-on SRAM, so the recorded fault uses bank 0.
+    pub fn flip_ram_bit(&mut self, addr: u16, bit: u8) -> bool {
+        let fault = FaultKind::SramBitFlip { bank: 0, addr, bit };
+        let a = addr.wrapping_sub(RAM_BASE) as usize;
+        let degraded = if let Some(slot) = self.bus.ram.get_mut(a) {
+            *slot ^= 1 << (bit & 7);
+            true
+        } else {
+            false
+        };
+        self.record_fault(
+            fault,
+            if degraded {
+                FaultDisposition::Degraded
+            } else {
+                FaultDisposition::Absorbed
+            },
+        );
+        degraded
     }
 
     /// The LED latch.
@@ -969,6 +1050,85 @@ mod tests {
         assert!(b.irq_service_latency().is_empty());
         assert!(b.wake_latency().is_empty());
         assert!(b.trace().is_empty());
+    }
+
+    #[test]
+    fn fault_hooks_trace_injection_and_disposition() {
+        use ulp_sim::fault::{FaultDisposition, FaultKind};
+        let mut b = board("ldi r16, 7\nsts 0x0300, r16\nbreak");
+        b.trace_mut().set_enabled(true);
+        // RAM upset on a mapped byte: degraded, observable via ram().
+        b.poke_ram(0x0300, 0x0F);
+        assert!(b.flip_ram_bit(0x0300, 7));
+        assert_eq!(b.ram(0x0300), 0x8F);
+        // Below RAM_BASE: absorbed (no mapped byte to corrupt).
+        assert!(!b.flip_ram_bit(0x0010, 0));
+        // Ghost edge on a clear vector: degraded; repeat is absorbed
+        // (one-deep flag); out-of-range is absorbed.
+        assert!(b.inject_spurious_irq(2));
+        assert!(!b.inject_spurious_irq(2));
+        assert!(!b.inject_spurious_irq(9));
+        // Lose the ghost edge again: degraded once, then absorbed.
+        assert!(b.drop_pending_irq(2));
+        assert!(!b.drop_pending_irq(2));
+        let events: Vec<_> = b.trace().events().map(|e| e.kind.clone()).collect();
+        let injected = events
+            .iter()
+            .filter(|k| matches!(k, TraceKind::FaultInjected { .. }))
+            .count();
+        assert_eq!(injected, 7, "every injection traced");
+        assert!(events.contains(&TraceKind::FaultAbsorbed {
+            fault: FaultKind::SramBitFlip {
+                bank: 0,
+                addr: 0x0300,
+                bit: 7
+            },
+            disposition: FaultDisposition::Degraded,
+        }));
+        assert!(events.contains(&TraceKind::FaultAbsorbed {
+            fault: FaultKind::SpuriousIrq { line: 9 },
+            disposition: FaultDisposition::Absorbed,
+        }));
+    }
+
+    #[test]
+    fn dropped_irq_fault_really_suppresses_dispatch() {
+        // A ghost edge asserted while the CPU sleeps, then lost before
+        // the next step: the handler never runs. Without the drop, the
+        // very same edge wakes the CPU and runs the handler once.
+        let src = r#"
+            .org 0
+            jmp main
+            jmp tick
+        main:
+            ldi r16, 0xFF
+            out 0x3D, r16
+            ldi r16, 0x10
+            out 0x3E, r16
+            sei
+        loop:
+            sleep
+            rjmp loop
+        tick:
+            lds r16, 0x0310
+            inc r16
+            sts 0x0310, r16
+            reti
+        "#;
+        let run = |drop_it: bool| {
+            let b = board(src);
+            let mut e = Engine::new(b);
+            e.run_until_cycle(Cycles(100)); // CPU is asleep by now
+            assert!(e.machine().cpu().sleeping());
+            assert!(e.machine_mut().inject_spurious_irq(1));
+            if drop_it {
+                assert!(e.machine_mut().drop_pending_irq(1));
+            }
+            e.run_until_cycle(Cycles(400));
+            e.into_machine().ram(0x0310)
+        };
+        assert_eq!(run(false), 1, "undropped edge wakes and dispatches");
+        assert_eq!(run(true), 0, "dropped edge never dispatches");
     }
 
     #[test]

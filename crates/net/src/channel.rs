@@ -138,13 +138,16 @@ impl Medium {
 
     /// Broadcast `bytes` from endpoint `from` at time `at_us`. Every
     /// *other* endpoint receives it (subject to loss) after the
-    /// propagation delay.
+    /// propagation delay. Arrival times saturate at `u64::MAX` rather
+    /// than wrapping, so a transmit at the end of time still delivers.
     ///
-    /// # Panics
-    ///
-    /// Panics if `from` is not a registered endpoint.
+    /// A transmit from an unregistered endpoint (including on a medium
+    /// with no endpoints at all) is ignored: nothing to deliver to,
+    /// nothing counted — the medium never panics on hostile input.
     pub fn transmit(&mut self, from: usize, at_us: u64, bytes: &[u8]) {
-        assert!(from < self.queues.len(), "unknown endpoint {from}");
+        if from >= self.queues.len() {
+            return;
+        }
         self.stats.sent += 1;
         if let Some(log) = &mut self.events {
             log.push(NetEvent {
@@ -154,7 +157,7 @@ impl Medium {
                 len: bytes.len(),
             });
         }
-        let arrival = at_us + self.config.propagation_delay_us;
+        let arrival = at_us.saturating_add(self.config.propagation_delay_us);
         for idx in 0..self.queues.len() {
             if idx == from {
                 continue;
@@ -190,11 +193,13 @@ impl Medium {
 
     /// Drain deliveries for `endpoint` that have arrived by `now_us`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `endpoint` is not registered.
+    /// Polling an unregistered endpoint returns nothing (never panics);
+    /// polling with a timestamp that went backwards simply drains
+    /// nothing new — arrival order is fixed at transmit time.
     pub fn poll(&mut self, endpoint: usize, now_us: u64) -> Vec<Delivery> {
-        let q = &mut self.queues[endpoint];
+        let Some(q) = self.queues.get_mut(endpoint) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         while let Some(front) = q.front() {
             if front.at_us <= now_us {
@@ -207,9 +212,9 @@ impl Medium {
     }
 
     /// Earliest pending arrival time for `endpoint`, if any (lets node
-    /// simulations idle-skip to it).
+    /// simulations idle-skip to it). `None` for unregistered endpoints.
     pub fn next_arrival(&self, endpoint: usize) -> Option<u64> {
-        self.queues[endpoint].front().map(|d| d.at_us)
+        self.queues.get(endpoint)?.front().map(|d| d.at_us)
     }
 
     /// Cumulative statistics.
@@ -347,10 +352,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown endpoint")]
-    fn unregistered_transmit_panics() {
+    fn unregistered_endpoints_are_ignored_not_panicked() {
+        // Zero-endpoint medium: every operation is a safe no-op.
         let mut m = Medium::new(MediumConfig::default());
-        m.transmit(0, 0, &[]);
+        m.transmit(0, 0, &[1, 2, 3]);
+        assert_eq!(m.stats(), MediumStats::default(), "nothing counted");
+        assert!(m.poll(0, u64::MAX).is_empty());
+        assert_eq!(m.next_arrival(0), None);
+        // Out-of-range endpoint on a populated medium: same story.
+        let a = m.register();
+        m.transmit(a + 1, 0, &[9]);
+        assert_eq!(m.stats().sent, 0);
+        assert!(m.poll(a + 7, 10).is_empty());
+        assert_eq!(m.next_arrival(usize::MAX), None);
+    }
+
+    #[test]
+    fn transmit_at_end_of_time_saturates_arrival() {
+        let mut m = Medium::new(MediumConfig {
+            propagation_delay_us: 500,
+            ..MediumConfig::default()
+        });
+        let a = m.register();
+        let b = m.register();
+        m.transmit(a, u64::MAX, &[4]);
+        assert_eq!(m.next_arrival(b), Some(u64::MAX), "saturated, not wrapped");
+        assert_eq!(m.poll(b, u64::MAX).len(), 1);
+    }
+
+    #[test]
+    fn non_monotonic_poll_is_harmless() {
+        let mut m = Medium::new(MediumConfig {
+            propagation_delay_us: 10,
+            ..MediumConfig::default()
+        });
+        let a = m.register();
+        let b = m.register();
+        m.transmit(a, 100, &[1]);
+        m.transmit(a, 200, &[2]);
+        assert_eq!(m.poll(b, 150).len(), 1, "first frame arrived");
+        // Time goes backwards: nothing new can have arrived.
+        assert!(m.poll(b, 0).is_empty());
+        assert!(m.poll(b, 150).is_empty());
+        // Time recovers: the second frame is still queued, undamaged.
+        let d = m.poll(b, 500);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].bytes, vec![2]);
     }
 
     #[test]

@@ -560,7 +560,10 @@ impl ChromeTrace {
                     }
                     (tid::MCU, e.kind.to_string())
                 }
-                TraceKind::Note(_) | TraceKind::Text(_) => (tid::OTHER, e.kind.to_string()),
+                TraceKind::FaultInjected { .. }
+                | TraceKind::FaultAbsorbed { .. }
+                | TraceKind::Note(_)
+                | TraceKind::Text(_) => (tid::OTHER, e.kind.to_string()),
             };
             self.instant(pid, track, us(at), e.component, &label);
         }

@@ -158,6 +158,20 @@ pub enum TraceKind {
     },
     /// The microcontroller gated itself off.
     McuSleep,
+    /// A scheduled hardware fault was injected into the machine.
+    FaultInjected {
+        /// The injected fault.
+        fault: crate::fault::FaultKind,
+    },
+    /// The machine finished classifying an injected fault: every
+    /// [`FaultInjected`](TraceKind::FaultInjected) event is followed by
+    /// exactly one of these, so no corruption path is silent.
+    FaultAbsorbed {
+        /// The injected fault.
+        fault: crate::fault::FaultKind,
+        /// What the machine observed.
+        disposition: crate::fault::FaultDisposition,
+    },
     /// A static annotation (no formatting cost).
     Note(&'static str),
     /// A pre-formatted annotation (escape hatch; allocates).
@@ -195,6 +209,10 @@ impl fmt::Display for TraceKind {
                 write!(f, "wakeup @0x{handler:04X} (irq {cause})")
             }
             TraceKind::McuSleep => write!(f, "sleep (Vdd-gated)"),
+            TraceKind::FaultInjected { fault } => write!(f, "INJECT {fault}"),
+            TraceKind::FaultAbsorbed { fault, disposition } => {
+                write!(f, "FAULT {fault} -> {disposition}")
+            }
             TraceKind::Note(s) => f.write_str(s),
             TraceKind::Text(s) => f.write_str(s),
         }
@@ -521,6 +539,24 @@ mod tests {
         assert_eq!(
             TraceKind::RadioRxDelivered.to_string(),
             "rx frame delivered"
+        );
+    }
+
+    #[test]
+    fn fault_kinds_render_injection_and_disposition() {
+        use crate::fault::{FaultDisposition, FaultKind};
+        let k = FaultKind::DroppedIrq { line: 18 };
+        assert_eq!(
+            TraceKind::FaultInjected { fault: k }.to_string(),
+            "INJECT dropped irq 18"
+        );
+        assert_eq!(
+            TraceKind::FaultAbsorbed {
+                fault: k,
+                disposition: FaultDisposition::Degraded,
+            }
+            .to_string(),
+            "FAULT dropped irq 18 -> degraded"
         );
     }
 

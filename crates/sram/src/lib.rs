@@ -291,6 +291,24 @@ impl BankedSram {
         self.data[a] = value;
     }
 
+    /// Fault-injection hook: flip bit `bit & 7` of the byte at `addr`
+    /// as a single-event upset would — no bus access is modelled, no
+    /// energy is charged, no statistics move.
+    ///
+    /// Returns `true` when a live byte was flipped. Returns `false` when
+    /// the strike is absorbed: the address is outside the array, or the
+    /// bank is Vdd-gated (gated banks lose their contents anyway and are
+    /// zeroed on wake, so an upset there is architecturally invisible).
+    pub fn flip_bit(&mut self, addr: u16, bit: u8) -> bool {
+        match self.bank_of(addr) {
+            Ok(bank) if self.states[bank] == BankState::On => {
+                self.data[addr as usize] ^= 1 << (bit & 7);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Load a byte image at `origin` (non-charging; for initialisation).
     ///
     /// # Panics
@@ -541,6 +559,25 @@ mod tests {
         // load/poke charge no energy.
         m.tick(Cycles::ZERO);
         assert_eq!(m.energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn flip_bit_hits_live_bytes_only() {
+        let mut m = sram();
+        m.poke(0x0120, 0b0000_0001);
+        assert!(m.flip_bit(0x0120, 0));
+        assert_eq!(m.peek(0x0120), Some(0));
+        assert!(m.flip_bit(0x0120, 11), "bit index wraps mod 8");
+        assert_eq!(m.peek(0x0120), Some(0b0000_1000));
+        // Absorbed strikes: out of range, gated bank.
+        assert!(!m.flip_bit(0x0900, 0));
+        m.gate_bank(1);
+        assert!(!m.flip_bit(0x0120, 0));
+        assert_eq!(m.peek(0x0120), Some(0b0000_1000), "gated byte untouched");
+        // No energy, no access stats.
+        m.tick(Cycles::ZERO);
+        assert_eq!(m.energy(), Energy::ZERO);
+        assert_eq!(m.bank_stats(1).reads + m.bank_stats(1).writes, 0);
     }
 
     #[test]

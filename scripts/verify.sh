@@ -49,8 +49,19 @@ cargo run -q -p ulp-bench --bin trace --offline -- \
 echo "== fleet: parallel sweep must be thread-count invariant =="
 # --check double-runs a small co-sim grid (1 worker, then N), asserts
 # CSV/JSON byte-identity, and validates the JSON with the in-tree parser.
+# --threads 2 forces a genuinely parallel second run even on single-core
+# CI runners (the engine spawns the workers regardless); the wall-clock
+# speedup is reported, never asserted.
 cargo run -q --release -p ulp-bench --bin fleet --offline -- \
-  --nodes 16 --seeds 4 --slots 4000 --check > /dev/null
+  --nodes 16 --seeds 4 --slots 4000 --threads 2 --check > /dev/null
+
+echo "== chaos: fault-injection campaign must be deterministic =="
+# --check runs the campaign twice (1 worker, then 2), asserts CSV/JSON
+# byte-identity (the campaign summary is a pure function of those rows),
+# validates the JSON, and — per grid point — asserts the graceful-
+# degradation invariants inline.
+cargo run -q --release -p ulp-bench --bin chaos --offline -- \
+  --seeds 2 --horizon 15000 --threads 2 --check > /dev/null
 
 echo "== dependency closure must be in-tree only =="
 external=$(cargo tree --workspace --edges normal,build --prefix none --offline \

@@ -15,6 +15,16 @@ fn forwarding_system() -> System {
     prog.build_system(SystemConfig::default(), Box::new(ConstSensor(1)))
 }
 
+/// Read a counter out of the telemetry snapshot. The metrics layer is a
+/// *view* over the same slave counters the tests below assert on
+/// directly — it must never disagree with them (a second bookkeeper
+/// that drifts would make every dashboard a lie).
+fn counter(sys: &System, name: &str) -> u64 {
+    sys.telemetry_snapshot()
+        .counter(name)
+        .unwrap_or_else(|| panic!("telemetry snapshot has no `{name}` counter"))
+}
+
 /// A frame corrupted in flight is counted as a decode error and produces
 /// no forward, no interrupt storm, no fault.
 #[test]
@@ -30,6 +40,8 @@ fn corrupted_frame_is_dropped_loudly() {
     assert!(sys.fault().is_none());
     assert_eq!(sys.slaves().msgproc.stats().decode_errors, 1);
     assert_eq!(sys.slaves().msgproc.stats().forwarded, 0);
+    assert_eq!(counter(&sys, "msg.decode_errors"), 1, "telemetry agrees");
+    assert_eq!(counter(&sys, "msg.forwarded"), 0, "telemetry agrees");
     assert!(sys.take_outbox().is_empty());
 }
 
@@ -48,6 +60,12 @@ fn overload_drops_events_and_recovers() {
         sys.slaves().radio.stats().transmitted > 10,
         "but the system keeps making progress: {:?}",
         sys.slaves().radio.stats()
+    );
+    // The telemetry view reports the same drops and progress.
+    assert_eq!(counter(sys, "irq.dropped"), sys.slaves().irqs.dropped());
+    assert_eq!(
+        counter(sys, "radio.transmitted"),
+        sys.slaves().radio.stats().transmitted
     );
 }
 
@@ -74,6 +92,14 @@ fn saturation_starves_low_priority_events() {
         0,
         "the starved send chain never completes"
     );
+    // The telemetry view reports the same starvation, and its interrupt
+    // conservation holds even at total saturation.
+    assert_eq!(counter(sys, "irq.dropped"), sys.slaves().irqs.dropped());
+    assert_eq!(counter(sys, "radio.transmitted"), 0);
+    assert!(
+        counter(sys, "irq.raised") >= counter(sys, "irq.taken"),
+        "cannot take more events than were raised"
+    );
 }
 
 /// Frames arriving while the radio transmits are missed (half-duplex)
@@ -97,6 +123,8 @@ fn half_duplex_collisions_are_counted() {
     assert!(sys.fault().is_none());
     assert_eq!(sys.slaves().radio.stats().missed, 1);
     assert_eq!(sys.slaves().msgproc.stats().forwarded, 1);
+    assert_eq!(counter(sys, "radio.missed"), 1, "telemetry agrees");
+    assert_eq!(counter(sys, "msg.forwarded"), 1, "telemetry agrees");
 }
 
 /// An ISR touching an unmapped address halts with a precise diagnostic.
@@ -217,4 +245,6 @@ fn oversized_frame_is_missed_not_truncated() {
     assert!(sys.fault().is_none());
     assert_eq!(sys.slaves().radio.stats().missed, 1);
     assert_eq!(sys.slaves().msgproc.stats().forwarded, 0);
+    assert_eq!(counter(sys, "radio.missed"), 1, "telemetry agrees");
+    assert_eq!(counter(sys, "msg.forwarded"), 0, "telemetry agrees");
 }

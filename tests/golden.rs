@@ -134,6 +134,25 @@ fn telemetry_exports_are_pinned() {
 }
 
 #[test]
+fn chaos_campaign_summary_is_pinned() {
+    // A fixed-seed fault-injection campaign is a pure function of its
+    // grid: the per-point CSV and the aggregate line must never drift.
+    // Run on two workers — the fleet engine's merge is byte-identical
+    // whatever the thread count, so the golden does not depend on it.
+    use ulp_bench::chaos::{campaign, campaign_summary, cells, run_chaos, ChaosApp};
+    let sweep = campaign(
+        &[ChaosApp::Sample, ChaosApp::Filtered],
+        &[0.0, 1e-3],
+        2,
+        15_000,
+    );
+    let results = sweep
+        .run(2, |_, cfg| cells(&run_chaos(cfg)))
+        .expect("no chaos grid point may violate a degradation invariant");
+    assert_golden("chaos_summary.txt", &campaign_summary(&results));
+}
+
+#[test]
 fn epcheck_reports_are_pinned_and_deterministic() {
     // The static checker's rendered reports are a contract: the shipped
     // programs must lint clean (pinning the WCET of every ISR), and the

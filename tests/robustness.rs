@@ -87,6 +87,71 @@ props! {
         }
     }
 
+    /// The broadcast medium under adversarial time: unregistered
+    /// endpoints, non-monotonic polls, empty payloads, and transmits at
+    /// the end of time never panic, and the per-transmit conservation
+    /// law (`delivered + lost = sent × (endpoints − 1)`) survives all
+    /// of it.
+    #[test]
+    fn medium_survives_adversarial_time(
+        endpoints in 0usize..5,
+        ops in vec_of((any_u8(), any_u64(), any_u8()), 1..120),
+        delay in any_u64(),
+        seed in any_u64(),
+    ) {
+        use ulp_node::net::{Medium, MediumConfig};
+        let mut m = Medium::new(MediumConfig {
+            loss_probability: 0.25,
+            propagation_delay_us: delay,
+            seed,
+        });
+        for _ in 0..endpoints {
+            m.register();
+        }
+        for (op, t, ep) in ops {
+            let ep = ep as usize % 8; // half deliberately unregistered
+            match op % 4 {
+                0 => m.transmit(ep, t, &[op, 1, 2]),
+                1 => m.transmit(ep, u64::MAX, &[]),
+                2 => {
+                    for d in m.poll(ep, t) {
+                        prop_assert!(d.at_us <= t, "delivered from the future");
+                    }
+                }
+                _ => {
+                    let _ = m.next_arrival(ep);
+                }
+            }
+        }
+        let s = m.stats();
+        let fanout = endpoints.saturating_sub(1) as u64;
+        prop_assert_eq!(
+            s.delivered + s.lost,
+            s.sent * fanout,
+            "conservation: every sent frame is delivered or lost per peer"
+        );
+    }
+
+    /// Arrival times saturate rather than wrap: a frame sent at the end
+    /// of time with any propagation delay is still delivered, at
+    /// `u64::MAX`, exactly once.
+    #[test]
+    fn medium_end_of_time_saturates(delay in any_u64(), seed in any_u64()) {
+        use ulp_node::net::{Medium, MediumConfig};
+        let mut m = Medium::new(MediumConfig {
+            loss_probability: 0.0,
+            propagation_delay_us: delay,
+            seed,
+        });
+        let a = m.register();
+        let b = m.register();
+        m.transmit(a, u64::MAX, &[0xEE]);
+        prop_assert_eq!(m.next_arrival(b), Some(u64::MAX), "arrival saturates");
+        prop_assert!(m.poll(b, u64::MAX - 1).is_empty() || delay == 0);
+        prop_assert_eq!(m.poll(b, u64::MAX).len(), 1, "delivered exactly once");
+        prop_assert_eq!(m.next_arrival(b), None);
+    }
+
     /// Sensor models are total over time and channel.
     #[test]
     fn sensor_models_total(at in any_u64(), ch in any_u8(), seed in any_u64()) {
