@@ -11,8 +11,6 @@
 
 use ulp_apps::mica as mapps;
 use ulp_apps::ulp::{stages, SamplePeriod};
-use ulp_bench::cosim::{run_cosim, CosimConfig};
-use ulp_bench::fleet::{self, Cell, Coords, Sweep};
 use ulp_core::slaves::ConstSensor;
 use ulp_core::SystemConfig;
 use ulp_sim::{Cycles, Engine};
@@ -63,40 +61,6 @@ fn run_lifetime_day() -> ulp_sim::Power {
     sys.average_power()
 }
 
-/// A small seed-replication co-sim grid (8 points, a few ms each): big
-/// enough that the fleet engine's scheduling shows up, small enough to
-/// bench. Byte-identity across thread counts is asserted elsewhere
-/// (`tests/fleet.rs`); here we only track the wall-clock trajectory of
-/// serial vs parallel execution so `BENCH_*.json` records a real
-/// speedup history.
-fn build_small_cosim_sweep() -> Sweep<CosimConfig> {
-    let mut sweep = Sweep::new("bench-cosim", &["sent", "energy_j"]);
-    for nodes in [4usize, 8] {
-        for seed in 0..4u64 {
-            sweep.push(
-                Coords::new().with("nodes", nodes).with("seed", seed),
-                CosimConfig {
-                    nodes,
-                    seed,
-                    horizon_slots: 4_000,
-                    ..CosimConfig::default()
-                },
-            );
-        }
-    }
-    sweep
-}
-
-fn run_small_fleet(sweep: &Sweep<CosimConfig>, threads: usize) -> usize {
-    let results = sweep
-        .run(threads, |_, cfg| {
-            let s = run_cosim(cfg);
-            vec![Cell::U64(s.sent), Cell::F64(s.energy_j)]
-        })
-        .expect("bench sweep has no failing points");
-    results.rows().len()
-}
-
 #[cfg(not(feature = "criterion-bench"))]
 fn main() {
     use ulp_testkit::bench::{Harness, Throughput};
@@ -111,13 +75,6 @@ fn main() {
         .throughput(Throughput::Elements(horizon))
         .bench("run/sampling_every_tick", || run_mica(horizon));
     h.group("lifetime").bench("one_simulated_day_gdi", run_lifetime_day);
-    let sweep = build_small_cosim_sweep();
-    let points = sweep.len() as u64;
-    h.group("fleet").throughput(Throughput::Elements(points));
-    h.bench("cosim_small/serial", || run_small_fleet(&sweep, 1));
-    h.bench("cosim_small/parallel", || {
-        run_small_fleet(&sweep, fleet::fleet_threads())
-    });
     h.finish();
 }
 
@@ -154,26 +111,11 @@ mod with_criterion {
         g.finish();
     }
 
-    fn bench_fleet(c: &mut Criterion) {
-        let mut g = c.benchmark_group("fleet");
-        let sweep = build_small_cosim_sweep();
-        g.sample_size(10);
-        g.throughput(Throughput::Elements(sweep.len() as u64));
-        g.bench_function("cosim_small/serial", |b| {
-            b.iter(|| run_small_fleet(&sweep, 1))
-        });
-        g.bench_function("cosim_small/parallel", |b| {
-            b.iter(|| run_small_fleet(&sweep, fleet::fleet_threads()))
-        });
-        g.finish();
-    }
-
     criterion_group!(
         benches,
         bench_ulp_system,
         bench_mica_board,
-        bench_lifetime_study,
-        bench_fleet
+        bench_lifetime_study
     );
 }
 

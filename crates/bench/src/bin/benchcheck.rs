@@ -1,0 +1,71 @@
+//! Schema gate for checked-in `BENCH_*.json` baselines.
+//!
+//! ```text
+//! cargo run -p ulp-bench --bin benchcheck -- BENCH_simulator.json BENCH_fleet.json
+//! ```
+//!
+//! Each argument must be a file produced by `ulp_testkit::bench` with
+//! `ULP_BENCH_DIR` set. A file passes when:
+//!
+//! * the in-tree JSON parser accepts it (`ulp_sim::telemetry::validate_json`),
+//!   which already rejects bare `NaN`/`Infinity` tokens;
+//! * the top level carries the `"bench"`, `"mode"` and `"results"` keys;
+//! * every result carries `"id"`, `"iters_per_sample"`, `"best_ns"` and
+//!   `"median_ns"`;
+//! * the results array is non-empty.
+//!
+//! Exits 1 on the first failing file, 2 on usage errors. Wired into
+//! `scripts/verify.sh` and CI so a bench-harness schema drift cannot land
+//! silently under a stale baseline.
+
+use std::process::exit;
+
+use ulp_sim::telemetry::validate_json;
+
+/// Keys every BENCH file must carry at the top level and per result.
+const TOP_KEYS: &[&str] = &["\"bench\"", "\"mode\"", "\"results\""];
+const RESULT_KEYS: &[&str] = &["\"id\"", "\"iters_per_sample\"", "\"best_ns\"", "\"median_ns\""];
+
+fn check(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    validate_json(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    for key in TOP_KEYS {
+        if !text.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let results = text.matches("\"id\"").count();
+    if results == 0 {
+        return Err("empty results array (bench produced no measurements)".into());
+    }
+    for key in RESULT_KEYS {
+        let n = text.matches(key).count();
+        if n != results {
+            return Err(format!(
+                "{key} appears {n} time(s) but there are {results} result(s)"
+            ));
+        }
+    }
+    Ok(results)
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: benchcheck BENCH_a.json [BENCH_b.json ..]");
+        exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check(path) {
+            Ok(n) => println!("ok: {path} ({n} result(s))"),
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}

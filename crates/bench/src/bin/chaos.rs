@@ -26,8 +26,11 @@
 //!   artifact `tests/golden.rs` pins)
 //! * `--check`         — run the whole campaign twice (1 worker, then
 //!   N), assert CSV/JSON byte-identity and summary byte-identity,
-//!   validate the JSON with the in-tree parser, and report the
-//!   wall-clock speedup
+//!   validate the JSON with the in-tree parser, and report points/sec
+//!   serial vs parallel
+//! * `--progress`      — stream NDJSON heartbeats (points done/total,
+//!   points/sec, ETA, current coordinates) on **stderr**; stdout and
+//!   every written artifact are untouched
 //!
 //! A violated degradation invariant aborts with the offending grid
 //! point's (app, rate, seed) coordinates.
@@ -35,14 +38,15 @@
 use std::process::exit;
 
 use ulp_bench::chaos::{campaign, campaign_summary, cells, run_chaos, ChaosApp, ChaosConfig};
-use ulp_bench::fleet::{self, Cell, Coords, SweepResults};
+use ulp_bench::fleet::{self, Cell, Coords, SweepObserver, SweepResults};
+use ulp_bench::perf::ProgressMeter;
 use ulp_bench::TableWriter;
 use ulp_sim::telemetry::validate_json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--apps A[,B,..]] [--rates A[,B,..]] [--seeds N] \
-         [--horizon N] [--threads N] [--csv FILE] [--summary FILE] [--check]"
+         [--horizon N] [--threads N] [--csv FILE] [--summary FILE] [--check] [--progress]"
     );
     exit(2);
 }
@@ -67,6 +71,7 @@ fn main() {
     let mut csv_path: Option<String> = None;
     let mut summary_path: Option<String> = None;
     let mut check = false;
+    let mut progress = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -97,6 +102,7 @@ fn main() {
             "--csv" => csv_path = Some(value("--csv")),
             "--summary" => summary_path = Some(value("--summary")),
             "--check" => check = true,
+            "--progress" => progress = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -122,9 +128,17 @@ fn main() {
     );
 
     let eval = |_: &Coords, cfg: &ChaosConfig| cells(&run_chaos(cfg));
+    // `--check` drains the grid twice (serial, then parallel), so the
+    // heartbeat total is 2 × the grid size.
+    let meter_total = if check { 2 * sweep.len() } else { sweep.len() };
+    let meter = progress.then(|| ProgressMeter::stderr(sweep.name(), meter_total));
+    let observer: &dyn SweepObserver = match &meter {
+        Some(m) => m,
+        None => &(),
+    };
     let results: SweepResults = if check {
         let (results, speedup) =
-            fleet::measure_speedup(&sweep, threads, eval).unwrap_or_else(|e| {
+            fleet::measure_speedup_observed(&sweep, threads, eval, observer).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 exit(1);
             });
@@ -138,7 +152,7 @@ fn main() {
         eprintln!("check: {speedup}");
         results
     } else {
-        sweep.run(threads, eval).unwrap_or_else(|e| {
+        sweep.run_observed(threads, eval, observer).unwrap_or_else(|e| {
             eprintln!("{e}");
             exit(1);
         })

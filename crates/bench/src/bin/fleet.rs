@@ -22,7 +22,10 @@
 //! * `--csv PATH` / `--json PATH` — write the machine-readable results
 //! * `--check`         — run the whole sweep twice (1 worker, then N),
 //!   assert CSV and JSON byte-identity, validate the JSON with the
-//!   in-tree parser, and report the wall-clock speedup
+//!   in-tree parser, and report points/sec serial vs parallel
+//! * `--progress`      — stream NDJSON heartbeats (points done/total,
+//!   points/sec, ETA, current coordinates) on **stderr** while the grid
+//!   drains; stdout, CSV, and JSON bytes are untouched
 //!
 //! A summary table and per-sweep wall-clock always go to stdout; a
 //! panicking grid point aborts with its scenario coordinates.
@@ -30,14 +33,15 @@
 use std::process::exit;
 
 use ulp_bench::cosim::{run_cosim, CosimConfig, CosimSummary};
-use ulp_bench::fleet::{self, Cell, Coords, Sweep, SweepResults};
+use ulp_bench::fleet::{self, Cell, Coords, Sweep, SweepObserver, SweepResults};
+use ulp_bench::perf::ProgressMeter;
 use ulp_bench::TableWriter;
 use ulp_sim::telemetry::validate_json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fleet [--nodes A[,B,..]] [--loss A[,B,..]] [--seeds N] \
-         [--slots N] [--threads N] [--csv FILE] [--json FILE] [--check]"
+         [--slots N] [--threads N] [--csv FILE] [--json FILE] [--check] [--progress]"
     );
     exit(2);
 }
@@ -118,6 +122,7 @@ fn main() {
     let mut csv_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut check = false;
+    let mut progress = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +141,7 @@ fn main() {
             "--csv" => csv_path = Some(value("--csv")),
             "--json" => json_path = Some(value("--json")),
             "--check" => check = true,
+            "--progress" => progress = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -156,9 +162,17 @@ fn main() {
     );
 
     let eval = |_: &Coords, cfg: &CosimConfig| cells(&run_cosim(cfg));
+    // A `--check` run executes the grid twice (serial, then parallel),
+    // so the heartbeat total is 2 × the grid size.
+    let meter_total = if check { 2 * sweep.len() } else { sweep.len() };
+    let meter = progress.then(|| ProgressMeter::stderr(sweep.name(), meter_total));
+    let observer: &dyn SweepObserver = match &meter {
+        Some(m) => m,
+        None => &(),
+    };
     let results: SweepResults = if check {
-        let (results, speedup) = fleet::measure_speedup(&sweep, threads, eval)
-            .unwrap_or_else(|e| {
+        let (results, speedup) =
+            fleet::measure_speedup_observed(&sweep, threads, eval, observer).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 exit(1);
             });
@@ -170,7 +184,7 @@ fn main() {
         eprintln!("check: {speedup}");
         results
     } else {
-        sweep.run(threads, eval).unwrap_or_else(|e| {
+        sweep.run_observed(threads, eval, observer).unwrap_or_else(|e| {
             eprintln!("{e}");
             exit(1);
         })

@@ -17,19 +17,23 @@
 //! * `--summary PATH` — write the metrics summary table here
 //! * `--check`     — run the workload twice, assert the three artifacts
 //!   are byte-identical, and validate the JSON with the in-tree parser
+//! * `--perf`      — run with the host-side profiler attached
+//!   (`stage4`/`mica2` only): print the deterministic counts table and
+//!   the wall-clock self-time table after the summary, and append the
+//!   deterministic host-perf counter track to the `--out` JSON
 //!
 //! The metrics summary always goes to stdout. Open the JSON in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use std::process::exit;
 
-use ulp_bench::tracegen;
+use ulp_bench::{perf, tracegen};
 use ulp_sim::telemetry::validate_json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: trace [--app stage4|mica2|net] [--cycles N] [--seed N] \
-         [--out FILE.json] [--csv FILE.csv] [--summary FILE.txt] [--check]"
+         [--out FILE.json] [--csv FILE.csv] [--summary FILE.txt] [--check] [--perf]"
     );
     exit(2);
 }
@@ -42,6 +46,7 @@ fn main() {
     let mut csv: Option<String> = None;
     let mut summary: Option<String> = None;
     let mut check = false;
+    let mut with_perf = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +72,7 @@ fn main() {
             "--csv" => csv = Some(value("--csv")),
             "--summary" => summary = Some(value("--summary")),
             "--check" => check = true,
+            "--perf" => with_perf = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -80,16 +86,45 @@ fn main() {
     }
     let cycles = cycles.unwrap_or_else(|| tracegen::default_horizon(&app));
     let seed = seed.unwrap_or_else(|| tracegen::default_seed(&app));
+    if with_perf && app == "net" {
+        eprintln!("--perf supports stage4|mica2 (net steps its nodes manually)");
+        usage();
+    }
 
-    let export = tracegen::run(&app, cycles, seed);
+    let (export, perf_snapshot) = if with_perf {
+        let (export, snap) = tracegen::run_perf(&app, cycles, seed);
+        (export, Some(snap))
+    } else {
+        (tracegen::run(&app, cycles, seed), None)
+    };
     if check {
-        let again = tracegen::run(&app, cycles, seed);
-        assert_eq!(export.json, again.json, "JSON export must be deterministic");
-        assert_eq!(export.csv, again.csv, "CSV export must be deterministic");
-        assert_eq!(
-            export.summary, again.summary,
-            "summary must be deterministic"
-        );
+        if let Some(snap) = &perf_snapshot {
+            let (again, snap2) = tracegen::run_perf(&app, cycles, seed);
+            assert_eq!(export.json, again.json, "profiled JSON must be deterministic");
+            assert_eq!(export.csv, again.csv, "CSV export must be deterministic");
+            assert_eq!(
+                export.summary, again.summary,
+                "summary must be deterministic"
+            );
+            assert_eq!(
+                snap.counts_table(),
+                snap2.counts_table(),
+                "perf counts must be deterministic"
+            );
+            // No observer effect: profiling must leave the guest-side
+            // CSV and summary exactly as the unprofiled run produces.
+            let plain = tracegen::run(&app, cycles, seed);
+            assert_eq!(export.csv, plain.csv, "profiling changed the CSV");
+            assert_eq!(export.summary, plain.summary, "profiling changed the summary");
+        } else {
+            let again = tracegen::run(&app, cycles, seed);
+            assert_eq!(export.json, again.json, "JSON export must be deterministic");
+            assert_eq!(export.csv, again.csv, "CSV export must be deterministic");
+            assert_eq!(
+                export.summary, again.summary,
+                "summary must be deterministic"
+            );
+        }
         if let Err(e) = validate_json(&export.json) {
             eprintln!("trace JSON failed validation: {e}");
             exit(1);
@@ -109,4 +144,8 @@ fn main() {
         eprintln!("wrote {path}");
     }
     print!("{}", export.summary);
+    if let Some(snap) = &perf_snapshot {
+        println!();
+        print!("{}", perf::render_report(snap));
+    }
 }

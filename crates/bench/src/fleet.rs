@@ -44,6 +44,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use ulp_sim::perf::PerfSnapshot;
 
 /// Number of worker threads a sweep should use: `ULP_FLEET_THREADS` if
 /// set to a positive integer, otherwise [`std::thread::available_parallelism`]
@@ -179,6 +180,23 @@ impl fmt::Display for FleetError {
 
 impl std::error::Error for FleetError {}
 
+/// Observer of sweep progress. [`Sweep::run_observed`] calls
+/// [`point_done`](SweepObserver::point_done) after each grid point
+/// completes — from whichever worker thread ran the point, in
+/// completion (not grid) order — so a progress meter can stream
+/// heartbeats while the grid drains. Observers must not affect the
+/// results: they see indices and coordinates, never cells.
+pub trait SweepObserver: Sync {
+    /// One grid point finished (successfully or not).
+    fn point_done(&self, index: usize, coords: &Coords);
+}
+
+/// The no-op observer [`Sweep::run`] uses: observing nothing costs
+/// nothing.
+impl SweepObserver for () {
+    fn point_done(&self, _index: usize, _coords: &Coords) {}
+}
+
 /// A grid of scenario points awaiting execution. `P` is the opaque
 /// per-point payload handed to the worker closure (alongside the
 /// point's [`Coords`]).
@@ -245,6 +263,23 @@ impl<P: Sync> Sweep<P> {
     where
         F: Fn(&Coords, &P) -> Vec<Cell> + Sync,
     {
+        self.run_observed(threads, f, &())
+    }
+
+    /// [`run`](Sweep::run) with a progress [`SweepObserver`]. The
+    /// observer is notified after each point completes; it cannot
+    /// influence execution or results, so the serialized output stays
+    /// byte-identical with and without one (golden-checked by the
+    /// no-observer-effect tests).
+    pub fn run_observed<F>(
+        &self,
+        threads: usize,
+        f: F,
+        observer: &(impl SweepObserver + ?Sized),
+    ) -> Result<SweepResults, FleetError>
+    where
+        F: Fn(&Coords, &P) -> Vec<Cell> + Sync,
+    {
         let n = self.points.len();
         let axis_names: Vec<String> = self
             .points
@@ -283,6 +318,7 @@ impl<P: Sync> Sweep<P> {
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(coords, payload)))
                         .map_err(|panic| panic_message(&*panic));
                     slots.lock().unwrap()[i] = Some(outcome);
+                    observer.point_done(i, coords);
                 }
             };
             // The current thread is worker 0; spawn the other N-1.
@@ -401,6 +437,19 @@ impl SweepResults {
         self.elapsed
     }
 
+    /// The execution as a host [`PerfSnapshot`]: the grid size under a
+    /// `fleet.points` counter against the run's wall-clock. Every
+    /// points/sec figure in the workspace (speedup reports, `--progress`
+    /// heartbeats) derives from this snapshot's
+    /// [`rate`](PerfSnapshot::rate), which yields `None` instead of a
+    /// non-finite value — one code path, no ad-hoc wall-clock division.
+    pub fn perf(&self) -> PerfSnapshot {
+        PerfSnapshot::from_host(
+            self.elapsed,
+            vec![("fleet.points".to_string(), self.rows.len() as u64)],
+        )
+    }
+
     /// One metric cell, addressed by row index and column name.
     pub fn cell(&self, row: usize, column: &str) -> Option<&Cell> {
         let c = self.columns.iter().position(|c| c == column)?;
@@ -487,14 +536,17 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Wall-clock comparison of a serial and a parallel execution of the
-/// same sweep, produced by [`measure_speedup`].
+/// Host-perf comparison of a serial and a parallel execution of the
+/// same sweep, produced by [`measure_speedup`]. Both sides are
+/// [`PerfSnapshot`]s carrying a `fleet.points` counter, so wall-clock
+/// *and* points/sec come from the perf layer's single
+/// [`rate`](PerfSnapshot::rate) code path.
 #[derive(Debug, Clone)]
 pub struct SpeedupReport {
-    /// Wall-clock time with one worker.
-    pub serial: Duration,
-    /// Wall-clock time with `threads` workers.
-    pub parallel: Duration,
+    /// Host perf of the one-worker run.
+    pub serial: PerfSnapshot,
+    /// Host perf of the `threads`-worker run.
+    pub parallel: PerfSnapshot,
     /// Worker count of the parallel run.
     pub threads: usize,
 }
@@ -503,18 +555,26 @@ impl SpeedupReport {
     /// `serial / parallel` — ≥ 2× expected on ≥ 4 cores for
     /// simulation-bound sweeps; ≈ 1× on a single-core host.
     pub fn speedup(&self) -> f64 {
-        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-9)
+        self.serial.wall.as_secs_f64() / self.parallel.wall.as_secs_f64().max(1e-9)
     }
 }
 
 impl fmt::Display for SpeedupReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Rates are omitted (not rendered as NaN/Inf) when a run was too
+        // fast for the clock — `rate()` already polices that.
+        let pps = |snap: &PerfSnapshot| match snap.rate("fleet.points") {
+            Some(r) => format!("{r:.1} points/s"),
+            None => "points/s n/a".to_string(),
+        };
         write!(
             f,
-            "serial {:.3} s vs {} threads {:.3} s: {:.2}x speedup",
-            self.serial.as_secs_f64(),
+            "serial {:.3} s ({}) vs {} threads {:.3} s ({}): {:.2}x speedup",
+            self.serial.wall.as_secs_f64(),
+            pps(&self.serial),
             self.threads,
-            self.parallel.as_secs_f64(),
+            self.parallel.wall.as_secs_f64(),
+            pps(&self.parallel),
             self.speedup()
         )
     }
@@ -531,8 +591,22 @@ pub fn measure_speedup<P: Sync, F>(
 where
     F: Fn(&Coords, &P) -> Vec<Cell> + Sync,
 {
-    let serial = sweep.run(1, &f)?;
-    let parallel = sweep.run(threads, &f)?;
+    measure_speedup_observed(sweep, threads, f, &())
+}
+
+/// [`measure_speedup`] with a progress [`SweepObserver`], which sees
+/// both executions (`2 × len` callbacks total — serial first).
+pub fn measure_speedup_observed<P: Sync, F>(
+    sweep: &Sweep<P>,
+    threads: usize,
+    f: F,
+    observer: &(impl SweepObserver + ?Sized),
+) -> Result<(SweepResults, SpeedupReport), FleetError>
+where
+    F: Fn(&Coords, &P) -> Vec<Cell> + Sync,
+{
+    let serial = sweep.run_observed(1, &f, observer)?;
+    let parallel = sweep.run_observed(threads, &f, observer)?;
     assert_eq!(
         serial.to_csv(),
         parallel.to_csv(),
@@ -546,8 +620,8 @@ where
         sweep.name()
     );
     let report = SpeedupReport {
-        serial: serial.elapsed(),
-        parallel: parallel.elapsed(),
+        serial: serial.perf(),
+        parallel: parallel.perf(),
         threads: parallel.threads(),
     };
     Ok((parallel, report))
@@ -633,6 +707,43 @@ mod tests {
     #[test]
     fn fleet_threads_is_at_least_one() {
         assert!(fleet_threads() >= 1);
+    }
+
+    #[test]
+    fn observer_sees_every_point_without_changing_bytes() {
+        struct Counting(Mutex<Vec<usize>>);
+        impl SweepObserver for Counting {
+            fn point_done(&self, index: usize, _coords: &Coords) {
+                self.0.lock().unwrap().push(index);
+            }
+        }
+        let sweep = squares(17);
+        let plain = sweep.run(3, eval).unwrap();
+        let obs = Counting(Mutex::new(Vec::new()));
+        let observed = sweep.run_observed(3, eval, &obs).unwrap();
+        assert_eq!(plain.to_csv(), observed.to_csv());
+        assert_eq!(plain.to_json(), observed.to_json());
+        let mut seen = obs.0.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..17).collect::<Vec<_>>(), "each point exactly once");
+    }
+
+    #[test]
+    fn perf_routes_points_per_sec_through_one_code_path() {
+        let sweep = squares(9);
+        let r = sweep.run(2, eval).unwrap();
+        let perf = r.perf();
+        assert_eq!(perf.counter("fleet.points"), Some(9));
+        if let Some(rate) = perf.rate("fleet.points") {
+            assert!(rate.is_finite());
+        }
+        let (_, speedup) = measure_speedup(&sweep, 2, eval).unwrap();
+        assert_eq!(speedup.serial.counter("fleet.points"), Some(9));
+        assert_eq!(speedup.parallel.counter("fleet.points"), Some(9));
+        assert!(speedup.speedup() > 0.0);
+        let shown = speedup.to_string();
+        assert!(shown.contains("speedup"), "{shown}");
+        assert!(!shown.contains("NaN") && !shown.contains("inf"), "{shown}");
     }
 
     #[test]

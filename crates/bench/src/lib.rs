@@ -40,6 +40,7 @@ pub mod cosim;
 pub mod epcheck;
 pub mod fleet;
 pub mod measure;
+pub mod perf;
 pub mod report;
 pub mod table;
 pub mod tracegen;

@@ -18,8 +18,12 @@ use ulp_core::{System, SystemConfig};
 use ulp_mica::io::CPU_HZ;
 use ulp_net::{Frame, Medium, MediumConfig, NetEventKind};
 use ulp_sim::telemetry::csv_timeline;
-use ulp_sim::{ChromeTrace, Cycles, Engine, Metrics, Simulatable, StepOutcome};
+use ulp_sim::{ChromeTrace, Cycles, Engine, Metrics, PerfSnapshot, Profiler, Simulatable, StepOutcome};
 use ulp_testkit::Rng;
+
+/// Perfetto process id of the host-perf counter track appended by
+/// [`run_perf`] (the guest machine keeps its usual pids).
+const PERF_PID: u32 = 9;
 
 /// The three artifacts a telemetry run exports.
 #[derive(Debug, Clone)]
@@ -67,11 +71,38 @@ pub fn run(app: &str, horizon: u64, seed: u64) -> TraceExport {
     }
 }
 
+/// [`run`] with host-side profiling: the engine (and, for `stage4`, the
+/// system) runs with a [`Profiler`] attached, the deterministic counter
+/// samples become a Perfetto counter track appended to the guest trace
+/// JSON, and the returned [`PerfSnapshot`] carries the span statistics
+/// plus guest-derived counters. The CSV and summary artifacts are
+/// byte-identical to the unprofiled [`run`] (no observer effect); only
+/// the JSON gains the extra (deterministic) counter track.
+///
+/// # Panics
+///
+/// Panics for `net`, which steps its nodes manually rather than through
+/// an [`Engine`] and therefore has no host phases to attribute.
+pub fn run_perf(app: &str, horizon: u64, seed: u64) -> (TraceExport, PerfSnapshot) {
+    let profiler = Profiler::new();
+    let export = match app {
+        "stage4" => stage4_run(horizon, seed, Some(&profiler)),
+        "mica2" => mica2_run(horizon, seed, Some(&profiler)),
+        other => panic!("app `{other}` does not support --perf (expected stage4|mica2)"),
+    };
+    let snapshot = profiler.snapshot();
+    (export, snapshot)
+}
+
 /// The paper's stage-4 monitoring application on the ULP architecture,
 /// with mixed inbound traffic (data, a duplicate, and a reconfiguration
 /// command) racing the send chains — the same workload the determinism
 /// suite double-runs.
 pub fn stage4(cycles: u64, seed: u64) -> TraceExport {
+    stage4_run(cycles, seed, None)
+}
+
+fn stage4_run(cycles: u64, seed: u64, profiler: Option<&Profiler>) -> TraceExport {
     let prog = stages::app4(SamplePeriod::Cycles(2_000), 40);
     let mut sys = prog.build_system(
         SystemConfig::default(),
@@ -79,6 +110,9 @@ pub fn stage4(cycles: u64, seed: u64) -> TraceExport {
     );
     sys.trace_mut().set_enabled(true);
     sys.set_telemetry(true);
+    if let Some(p) = profiler {
+        sys.set_profiler(p);
+    }
     for (i, at) in [3_000u64, 9_500, 9_500, 41_000].iter().enumerate() {
         let f = if i == 3 {
             Frame::command(0x22, 0x0009, 0x0001, 9, &[2, 60, 0]).unwrap()
@@ -88,6 +122,9 @@ pub fn stage4(cycles: u64, seed: u64) -> TraceExport {
         sys.schedule_rx(Cycles(*at), f.encode());
     }
     let mut engine = Engine::new(sys);
+    if let Some(p) = profiler {
+        engine.set_profiler(p);
+    }
     engine.set_epoch(Cycles(4_096));
     engine.run_for(Cycles(cycles));
     let sys = engine.into_machine();
@@ -97,6 +134,11 @@ pub fn stage4(cycles: u64, seed: u64) -> TraceExport {
     let mut ct = ChromeTrace::new();
     ct.add_machine(1, "ulp stage-4 node", sys.trace(), hz);
     let metrics = sys.telemetry_snapshot();
+    if let Some(p) = profiler {
+        crate::perf::attach_guest_counters(p, &sys);
+        p.snapshot()
+            .add_counter_track(&mut ct, PERF_PID, "host perf (deterministic)", hz);
+    }
     TraceExport {
         json: ct.finish(),
         csv: csv_timeline(sys.trace(), hz),
@@ -107,12 +149,23 @@ pub fn stage4(cycles: u64, seed: u64) -> TraceExport {
 /// The Mica2 baseline board running the sample-and-threshold app
 /// (`mapps::app2`), ADC fed from the seeded PRNG.
 pub fn mica2(cycles: u64, seed: u64) -> TraceExport {
+    mica2_run(cycles, seed, None)
+}
+
+fn mica2_run(cycles: u64, seed: u64, profiler: Option<&Profiler>) -> TraceExport {
     let app = mapps::app2(1, 100);
     let mut rng = Rng::from_seed(seed);
     let (mut board, _) = app.board(Box::new(move |_| rng.next_u64() as u8));
     board.trace_mut().set_enabled(true);
     board.set_telemetry(true);
     let mut engine = Engine::new(board);
+    if let Some(p) = profiler {
+        engine.set_profiler(p);
+        // The Mica2 board has no epoch hook configured here, so the
+        // counter track samples come from the engine only if epochs are
+        // on; enable them for the profiled run's counter track.
+        engine.set_epoch(Cycles(16_384));
+    }
     engine.run_until_cycle(Cycles(cycles));
     let board = engine.into_machine();
     assert!(!board.halted(), "mica2 runtime loop must keep spinning");
@@ -120,6 +173,12 @@ pub fn mica2(cycles: u64, seed: u64) -> TraceExport {
     let mut ct = ChromeTrace::new();
     ct.add_machine(1, "mica2 baseline board", board.trace(), CPU_HZ);
     let metrics = board.metrics_snapshot();
+    if let Some(p) = profiler {
+        p.counter_add("guest.cycles", board.now().0);
+        crate::perf::attach_trace_counters(p, board.trace());
+        p.snapshot()
+            .add_counter_track(&mut ct, PERF_PID, "host perf (deterministic)", CPU_HZ);
+    }
     TraceExport {
         json: ct.finish(),
         csv: csv_timeline(board.trace(), CPU_HZ),

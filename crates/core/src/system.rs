@@ -10,6 +10,7 @@ use crate::slaves::{BusError, SensorBlock, SensorModel, Slaves};
 use std::collections::VecDeque;
 use std::fmt;
 use ulp_sim::fault::{FaultDisposition, FaultKind, FaultPlan, FaultStats};
+use ulp_sim::perf::{PhaseId, Profiler};
 use ulp_sim::telemetry::{Log2Histogram, Metrics};
 use ulp_sim::{
     Cycles, Energy, EnergyMeter, Frequency, MeterId, Power, PowerMode, PowerSpec, Simulatable,
@@ -148,6 +149,18 @@ pub struct System {
     /// Outgoing frames still to be corrupted by injected radio byte
     /// errors (one byte per frame while nonzero).
     tx_corrupt_remaining: u32,
+    /// Host-side profiler handles (`None` — the default — keeps every
+    /// probe to a single untaken branch, like telemetry and tracing).
+    prof: Option<SysProf>,
+}
+
+/// Pre-resolved span handles for the system's profiled phases.
+struct SysProf {
+    profiler: Profiler,
+    fault_apply: PhaseId,
+    event_dispatch: PhaseId,
+    fetch_decode_execute: PhaseId,
+    telemetry_export: PhaseId,
 }
 
 impl fmt::Debug for System {
@@ -206,7 +219,25 @@ impl System {
             fault_plan: None,
             fault_stats: FaultStats::default(),
             tx_corrupt_remaining: 0,
+            prof: None,
         }
+    }
+
+    /// Attach a host-side [`Profiler`]. Each simulated cycle is then
+    /// attributed to `sys.fault_apply` (only while a fault plan is
+    /// installed), `sys.event_dispatch` (medium delivery, slave tick,
+    /// IRQ assertion), and `sys.fetch_decode_execute` (the EP/µC
+    /// masters); [`telemetry_snapshot`](System::telemetry_snapshot)
+    /// becomes a `telemetry.export` span. Call counts are deterministic;
+    /// the profiler only observes and never changes guest behaviour.
+    pub fn set_profiler(&mut self, profiler: &Profiler) {
+        self.prof = Some(SysProf {
+            profiler: profiler.clone(),
+            fault_apply: profiler.phase("sys.fault_apply"),
+            event_dispatch: profiler.phase("sys.event_dispatch"),
+            fetch_decode_execute: profiler.phase("sys.fetch_decode_execute"),
+            telemetry_export: profiler.phase("telemetry.export"),
+        });
     }
 
     /// The configuration.
@@ -289,6 +320,10 @@ impl System {
     /// Snapshot every counter and histogram into a [`Metrics`] registry
     /// (deterministic insertion order, so exports are byte-stable).
     pub fn telemetry_snapshot(&self) -> Metrics {
+        let _span = self
+            .prof
+            .as_ref()
+            .map(|p| p.profiler.enter(p.telemetry_export));
         let mut m = Metrics::new();
         m.insert_histogram("irq.service_latency", self.slaves.irqs.service_latency());
         m.insert_histogram("mcu.wake_latency", &self.mcu_wake_hist);
@@ -487,32 +522,45 @@ impl System {
 
         // Inject scheduled hardware faults. The plan is `None` unless a
         // non-empty one was installed, so the healthy path is one branch.
-        if self.fault_plan.is_some() && self.apply_due_faults(now) {
-            return StepOutcome::Halted;
-        }
-
-        // Deliver due frames from the medium.
-        while let Some((at, _)) = self.rx_queue.front() {
-            if *at > now {
-                break;
-            }
-            let (_, bytes) = self.rx_queue.pop_front().expect("checked front");
-            if self.slaves.radio.deliver(&bytes) {
-                self.slaves.irqs.raise(Irq::RadioRxDone.id());
-                self.trace.record(now, "radio", TraceKind::RadioRxDelivered);
+        if self.fault_plan.is_some() {
+            let _span = self
+                .prof
+                .as_ref()
+                .map(|p| p.profiler.enter(p.fault_apply));
+            if self.apply_due_faults(now) {
+                return StepOutcome::Halted;
             }
         }
 
-        // Slaves advance (timers count, in-flight operations progress).
-        self.slaves.tick(now);
+        {
+            let _span = self
+                .prof
+                .as_ref()
+                .map(|p| p.profiler.enter(p.event_dispatch));
 
-        // Emit typed assert events for interrupts raised this cycle.
-        if self.trace.is_enabled() {
-            let mut newly = self.slaves.irqs.take_newly_raised();
-            while newly != 0 {
-                let irq = newly.trailing_zeros() as u8;
-                newly &= newly - 1;
-                self.trace.record(now, "irq", TraceKind::IrqAssert { irq });
+            // Deliver due frames from the medium.
+            while let Some((at, _)) = self.rx_queue.front() {
+                if *at > now {
+                    break;
+                }
+                let (_, bytes) = self.rx_queue.pop_front().expect("checked front");
+                if self.slaves.radio.deliver(&bytes) {
+                    self.slaves.irqs.raise(Irq::RadioRxDone.id());
+                    self.trace.record(now, "radio", TraceKind::RadioRxDelivered);
+                }
+            }
+
+            // Slaves advance (timers count, in-flight operations progress).
+            self.slaves.tick(now);
+
+            // Emit typed assert events for interrupts raised this cycle.
+            if self.trace.is_enabled() {
+                let mut newly = self.slaves.irqs.take_newly_raised();
+                while newly != 0 {
+                    let irq = newly.trailing_zeros() as u8;
+                    newly &= newly - 1;
+                    self.trace.record(now, "irq", TraceKind::IrqAssert { irq });
+                }
             }
         }
 
@@ -520,6 +568,10 @@ impl System {
         // event processor otherwise (and waits on the bus meanwhile).
         let mut ep_active = false;
         let mut compute_busy = false;
+        let _masters_span = self
+            .prof
+            .as_ref()
+            .map(|p| p.profiler.enter(p.fetch_decode_execute));
         if self.mcu.powered() {
             compute_busy = true;
             if let Err(e) = self.mcu.step(&mut self.slaves) {
@@ -597,6 +649,8 @@ impl System {
                 }
             }
         }
+
+        drop(_masters_span);
 
         if self.slaves.msgproc.busy() || self.slaves.sensor.busy() || self.slaves.irqs.any_pending()
         {

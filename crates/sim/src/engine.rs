@@ -10,6 +10,7 @@
 //! [`Simulatable::skip_to`]; the `fast_forward_equivalence` integration
 //! test verifies that skipping changes neither cycle counts nor energy.
 
+use crate::perf::{PhaseId, Profiler};
 use crate::units::Cycles;
 
 /// What a machine did during one stepped cycle.
@@ -82,6 +83,16 @@ impl RunStats {
     }
 }
 
+/// Pre-resolved profiler handles for the engine's probe sites, so the
+/// hot loop indexes a vector instead of looking up phase names.
+#[derive(Debug)]
+struct EngineProf {
+    profiler: Profiler,
+    step: PhaseId,
+    idle_skip: PhaseId,
+    epoch_fire: PhaseId,
+}
+
 /// Drives a [`Simulatable`] machine.
 #[derive(Debug)]
 pub struct Engine<M> {
@@ -95,6 +106,9 @@ pub struct Engine<M> {
     epoch_next: u64,
     /// Index passed to the next `on_epoch` call.
     epoch_index: u64,
+    /// Host-side profiler (`None` — the default — costs one untaken
+    /// branch per probe site, the same contract as the trace buffer).
+    prof: Option<EngineProf>,
 }
 
 impl<M: Simulatable> Engine<M> {
@@ -107,6 +121,43 @@ impl<M: Simulatable> Engine<M> {
             epoch_len: None,
             epoch_next: 0,
             epoch_index: 0,
+            prof: None,
+        }
+    }
+
+    /// Attach a host-side [`Profiler`]. The engine then attributes
+    /// wall-clock to `engine.step`, `engine.idle_skip`, and
+    /// `engine.epoch_fire` spans, bumps the `sim.cycles_stepped` /
+    /// `sim.cycles_skipped` counters at the end of every run, and — when
+    /// epochs are configured — records deterministic counter samples at
+    /// each epoch boundary (the Perfetto counter-track material). The
+    /// profiler observes only; it never influences the simulation.
+    pub fn set_profiler(&mut self, profiler: &Profiler) {
+        self.prof = Some(EngineProf {
+            profiler: profiler.clone(),
+            step: profiler.phase("engine.step"),
+            idle_skip: profiler.phase("engine.idle_skip"),
+            epoch_fire: profiler.phase("engine.epoch_fire"),
+        });
+    }
+
+    /// One machine step, attributed to the `engine.step` span when a
+    /// profiler is attached.
+    #[inline]
+    fn step_machine(&mut self) -> StepOutcome {
+        let _span = self
+            .prof
+            .as_ref()
+            .map(|p| p.profiler.enter(p.step));
+        self.machine.step()
+    }
+
+    /// Flush a finished run's cycle totals into the host perf counters.
+    #[inline]
+    fn count_run(&self, stats: &RunStats) {
+        if let Some(p) = &self.prof {
+            p.profiler.counter_add("sim.cycles_stepped", stats.stepped.0);
+            p.profiler.counter_add("sim.cycles_skipped", stats.skipped.0);
         }
     }
 
@@ -162,12 +213,12 @@ impl<M: Simulatable> Engine<M> {
     pub fn run_until_cycle(&mut self, deadline: Cycles) -> RunStats {
         let mut stats = RunStats::default();
         while self.machine.now() < deadline {
-            match self.machine.step() {
+            match self.step_machine() {
                 StepOutcome::Busy => stats.stepped += Cycles(1),
                 StepOutcome::Halted => {
                     stats.stepped += Cycles(1);
                     stats.halted = true;
-                    self.fire_epochs();
+                    self.fire_epochs(&stats);
                     break;
                 }
                 StepOutcome::Idle => {
@@ -175,8 +226,9 @@ impl<M: Simulatable> Engine<M> {
                     self.idle_skip(deadline, &mut stats);
                 }
             }
-            self.fire_epochs();
+            self.fire_epochs(&stats);
         }
+        self.count_run(&stats);
         self.lifetime.merge(stats);
         stats
     }
@@ -193,12 +245,12 @@ impl<M: Simulatable> Engine<M> {
                 satisfied = true;
                 break;
             }
-            match self.machine.step() {
+            match self.step_machine() {
                 StepOutcome::Busy => stats.stepped += Cycles(1),
                 StepOutcome::Halted => {
                     stats.stepped += Cycles(1);
                     stats.halted = true;
-                    self.fire_epochs();
+                    self.fire_epochs(&stats);
                     break;
                 }
                 StepOutcome::Idle => {
@@ -206,11 +258,12 @@ impl<M: Simulatable> Engine<M> {
                     self.idle_skip(deadline, &mut stats);
                 }
             }
-            self.fire_epochs();
+            self.fire_epochs(&stats);
         }
         if !satisfied && pred(&self.machine) {
             satisfied = true;
         }
+        self.count_run(&stats);
         self.lifetime.merge(stats);
         (stats, satisfied)
     }
@@ -227,6 +280,10 @@ impl<M: Simulatable> Engine<M> {
         if !self.fast_forward {
             return;
         }
+        let _span = self
+            .prof
+            .as_ref()
+            .map(|p| p.profiler.enter(p.idle_skip));
         let now = self.machine.now();
         let target = match self.machine.next_wakeup() {
             Some(w) if w > now => w.min(deadline),
@@ -240,12 +297,25 @@ impl<M: Simulatable> Engine<M> {
     }
 
     /// Fire every epoch boundary at or before the machine's current time.
-    /// One branch when epochs are disabled (the default).
-    fn fire_epochs(&mut self) {
+    /// One branch when epochs are disabled (the default). With a profiler
+    /// attached, each fired epoch is an `engine.epoch_fire` span and
+    /// records the run's cumulative stepped/skipped cycle counts as
+    /// deterministic counter samples on the guest cycle axis.
+    fn fire_epochs(&mut self, stats: &RunStats) {
         let Some(len) = self.epoch_len else { return };
         let now = self.machine.now().0;
         while self.epoch_next <= now {
-            self.machine.on_epoch(self.epoch_index);
+            if let Some(p) = &self.prof {
+                let _span = p.profiler.enter(p.epoch_fire);
+                let at = Cycles(self.epoch_next);
+                p.profiler
+                    .sample(at, "sim.stepped", (self.lifetime.stepped + stats.stepped).0);
+                p.profiler
+                    .sample(at, "sim.skipped", (self.lifetime.skipped + stats.skipped).0);
+                self.machine.on_epoch(self.epoch_index);
+            } else {
+                self.machine.on_epoch(self.epoch_index);
+            }
             self.epoch_index += 1;
             self.epoch_next += len;
         }
@@ -413,6 +483,47 @@ mod tests {
     fn zero_epoch_length_rejected() {
         let mut e = Engine::new(Periodic::new(100, 3));
         e.set_epoch(Cycles(0));
+    }
+
+    #[test]
+    fn profiler_observes_without_perturbing() {
+        let run = |profile: bool| {
+            let mut e = Engine::new(Periodic::new(1_000, 5));
+            e.set_epoch(Cycles(512));
+            let prof = Profiler::new();
+            if profile {
+                e.set_profiler(&prof);
+            }
+            let stats = e.run_for(Cycles(10_000));
+            (stats, e.machine().busy_cycles_seen, e.machine().epochs_seen.clone(), prof.snapshot())
+        };
+        let (stats_on, busy_on, epochs_on, snap) = run(true);
+        let (stats_off, busy_off, epochs_off, _) = run(false);
+        // No observer effect: guest-visible results are identical.
+        assert_eq!(stats_on, stats_off);
+        assert_eq!(busy_on, busy_off);
+        assert_eq!(epochs_on, epochs_off);
+        // The deterministic side matches the run stats exactly.
+        assert_eq!(snap.counter("sim.cycles_stepped"), Some(stats_on.stepped.0));
+        assert_eq!(snap.counter("sim.cycles_skipped"), Some(stats_on.skipped.0));
+        assert_eq!(
+            snap.phase("engine.step").unwrap().calls,
+            stats_on.stepped.0
+        );
+        assert_eq!(
+            snap.phase("engine.epoch_fire").unwrap().calls,
+            epochs_on.len() as u64
+        );
+        // Epoch-boundary samples ride the guest cycle axis: two per epoch
+        // (stepped + skipped), final sample equals the final total.
+        assert_eq!(snap.samples.len(), 2 * epochs_on.len());
+        let last = snap.samples.last().unwrap();
+        assert_eq!(last.name, "sim.skipped");
+        assert_eq!(last.value, stats_on.skipped.0);
+        // Double run with profiling on: deterministic side is identical.
+        let (_, _, _, snap2) = run(true);
+        assert_eq!(snap.counts_table(), snap2.counts_table());
+        assert_eq!(snap.samples, snap2.samples);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod diag;
 pub mod energy;
 pub mod engine;
 pub mod fault;
+pub mod perf;
 pub mod power;
 pub mod telemetry;
 pub mod trace;
@@ -45,6 +46,7 @@ pub mod units;
 pub use energy::{ComponentStats, EnergyMeter, MeterId};
 pub use engine::{Engine, RunStats, Simulatable, StepOutcome};
 pub use fault::{FaultDisposition, FaultEvent, FaultKind, FaultPlan, FaultStats};
+pub use perf::{PerfSnapshot, Profiler};
 pub use power::{PowerMode, PowerSpec};
 pub use telemetry::{ChromeTrace, Log2Histogram, Metric, Metrics};
 pub use trace::{EpInsn, OverflowPolicy, TraceBuffer, TraceEvent, TraceKind};

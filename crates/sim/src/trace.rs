@@ -302,6 +302,7 @@ pub struct TraceBuffer {
     policy: OverflowPolicy,
     events: VecDeque<TraceEvent>,
     dropped: u64,
+    peak: usize,
 }
 
 impl TraceBuffer {
@@ -313,6 +314,7 @@ impl TraceBuffer {
             policy: OverflowPolicy::default(),
             events: VecDeque::new(),
             dropped: 0,
+            peak: 0,
         }
     }
 
@@ -359,6 +361,7 @@ impl TraceBuffer {
             component,
             kind: kind.into(),
         });
+        self.peak = self.peak.max(self.events.len());
     }
 
     /// Recorded events in order.
@@ -387,10 +390,18 @@ impl TraceBuffer {
         self.dropped
     }
 
+    /// High-water mark of retained events since construction (or the
+    /// last [`clear`](TraceBuffer::clear)) — the peak ring-buffer
+    /// occupancy surfaced as a host perf counter.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
     /// Clear all recorded events (keeps the enabled flag and policy).
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
+        self.peak = 0;
     }
 
     /// Events from a specific component.
@@ -489,6 +500,28 @@ mod tests {
         let kept: Vec<u64> = t.events().map(|e| e.at.0).collect();
         assert_eq!(kept, vec![7, 8, 9], "the *end* of the run survives");
         assert_eq!(t.dropped(), 7, "each eviction is accounted");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut t = TraceBuffer::new(8);
+        t.set_enabled(true);
+        for i in 0..5u64 {
+            t.record(Cycles(i), "a", "e");
+        }
+        assert_eq!(t.peak(), 5);
+        t.clear();
+        assert_eq!(t.peak(), 0, "clear resets the mark");
+        t.record(Cycles(9), "a", "e");
+        assert_eq!(t.peak(), 1);
+        // A full KeepNewest ring saturates at capacity, not beyond.
+        let mut r = TraceBuffer::new(2);
+        r.set_enabled(true);
+        r.set_policy(OverflowPolicy::KeepNewest);
+        for i in 0..6u64 {
+            r.record(Cycles(i), "a", "e");
+        }
+        assert_eq!(r.peak(), 2);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!
 //! * `ULP_BENCH_BUDGET_MS` — per-benchmark measurement budget
 //!   (default 300 ms).
+//! * `ULP_BENCH_DIR` — when set, [`Harness::finish`] writes the run's
+//!   measurements to `$ULP_BENCH_DIR/BENCH_<name>.json` (the checked-in
+//!   `BENCH_*.json` baselines at the repository root are produced this
+//!   way). In test mode each benchmark still runs exactly once, and the
+//!   single run's timing is recorded so smoke runs emit a schema-valid
+//!   file too.
 
 use std::time::{Duration, Instant};
 
@@ -152,7 +158,20 @@ impl Harness {
             return self;
         }
         if self.test_mode {
+            // One run, but still timed: smoke runs (`cargo test --benches`)
+            // record an iters=1 measurement so `ULP_BENCH_DIR` emission
+            // produces a schema-valid file without paying measure-mode
+            // wall-clock. Never use test-mode numbers as baselines.
+            let t0 = Instant::now();
             black_box(f());
+            let once = t0.elapsed();
+            self.results.push(Measurement {
+                id: full.clone(),
+                iters_per_sample: 1,
+                best: once,
+                median: once,
+                throughput: self.throughput,
+            });
             println!("test {full} ... ok");
             return self;
         }
@@ -200,7 +219,62 @@ impl Harness {
         &self.results
     }
 
-    /// Print the trailer. Call at the end of `main`.
+    /// The run's measurements as one JSON document:
+    ///
+    /// ```json
+    /// {"bench":"simulator","mode":"measure","results":[
+    ///   {"id":"g/work","iters_per_sample":8,"best_ns":120,"median_ns":140,
+    ///    "throughput":{"elements":100}}]}
+    /// ```
+    ///
+    /// Timings are integral nanoseconds, so the document never contains
+    /// NaN/Infinity; downstream consumers re-validate it with the
+    /// in-tree `validate_json` (this crate keeps zero dependencies).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mode = if self.test_mode { "test" } else { "measure" };
+        let mut out = format!("{{\"bench\":\"{}\",\"mode\":\"{mode}\",\"results\":[", self.name);
+        for (i, m) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"iters_per_sample\":{},\"best_ns\":{},\"median_ns\":{}",
+                esc(&m.id),
+                m.iters_per_sample,
+                m.best.as_nanos(),
+                m.median.as_nanos()
+            ));
+            match m.throughput {
+                Some(Throughput::Elements(n)) => {
+                    out.push_str(&format!(",\"throughput\":{{\"elements\":{n}}}"))
+                }
+                Some(Throughput::Bytes(n)) => {
+                    out.push_str(&format!(",\"throughput\":{{\"bytes\":{n}}}"))
+                }
+                None => {}
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Print the trailer and, when `ULP_BENCH_DIR` is set, write the
+    /// run's measurements to `$ULP_BENCH_DIR/BENCH_<name>.json`. Call at
+    /// the end of `main`.
     pub fn finish(&mut self) {
         if self.test_mode {
             println!("\n{}: all benchmarks ran once (test mode)", self.name);
@@ -212,6 +286,15 @@ impl Harness {
                 self.name,
                 self.results.len()
             );
+        }
+        if let Ok(dir) = std::env::var("ULP_BENCH_DIR") {
+            if !dir.is_empty() {
+                let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+                match std::fs::write(&path, self.to_json()) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => eprintln!("ULP_BENCH_DIR: cannot write {}: {e}", path.display()),
+                }
+            }
         }
     }
 }
@@ -262,14 +345,34 @@ mod tests {
     }
 
     #[test]
-    fn test_mode_runs_once_without_measuring() {
+    fn test_mode_runs_once_and_records_a_single_timing() {
         let mut h = quiet_harness();
         h.test_mode = true;
         let mut calls = 0u32;
         h.bench("once", || calls += 1);
-        assert_eq!(calls, 1);
-        assert!(h.results().is_empty());
+        assert_eq!(calls, 1, "test mode must not re-run the closure");
+        assert_eq!(h.results().len(), 1);
+        let m = &h.results()[0];
+        assert_eq!(m.iters_per_sample, 1);
+        assert_eq!(m.best, m.median);
         h.finish();
+    }
+
+    #[test]
+    fn json_export_has_the_bench_schema() {
+        let mut h = quiet_harness();
+        h.test_mode = true;
+        h.group("g")
+            .throughput(Throughput::Elements(42))
+            .bench("wo\"rk", || 7u32);
+        let json = h.to_json();
+        assert!(json.starts_with("{\"bench\":\"test\",\"mode\":\"test\",\"results\":["));
+        assert!(json.contains("\"id\":\"g/wo\\\"rk\""));
+        assert!(json.contains("\"iters_per_sample\":1"));
+        assert!(json.contains("\"best_ns\":"));
+        assert!(json.contains("\"median_ns\":"));
+        assert!(json.contains("\"throughput\":{\"elements\":42}"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     #[test]

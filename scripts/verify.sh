@@ -46,6 +46,13 @@ test -s "$trace_out/trace.json"
 cargo run -q -p ulp-bench --bin trace --offline -- \
   --app mica2 --cycles 120000 --check > /dev/null
 
+echo "== trace --perf: profiling must have no observer effect =="
+# The profiled --check additionally double-runs with the profiler
+# attached, asserts the deterministic counts table is identical, and
+# compares CSV/summary byte-for-byte against an unprofiled run.
+cargo run -q -p ulp-bench --bin trace --offline -- \
+  --app stage4 --cycles 60000 --perf --check > /dev/null
+
 echo "== fleet: parallel sweep must be thread-count invariant =="
 # --check double-runs a small co-sim grid (1 worker, then N), asserts
 # CSV/JSON byte-identity, and validates the JSON with the in-tree parser.
@@ -55,6 +62,18 @@ echo "== fleet: parallel sweep must be thread-count invariant =="
 cargo run -q --release -p ulp-bench --bin fleet --offline -- \
   --nodes 16 --seeds 4 --slots 4000 --threads 2 --check > /dev/null
 
+echo "== fleet --progress: heartbeats must not touch stdout =="
+# Run the same sweep with and without --progress and require stdout to
+# be byte-identical — the NDJSON heartbeats go to stderr only.
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --nodes 16 --seeds 4 --slots 4000 --threads 2 --check \
+  > "$trace_out/fleet_plain.out" 2> /dev/null
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --nodes 16 --seeds 4 --slots 4000 --threads 2 --check --progress \
+  > "$trace_out/fleet_progress.out" 2> "$trace_out/fleet_progress.ndjson"
+cmp "$trace_out/fleet_plain.out" "$trace_out/fleet_progress.out"
+test -s "$trace_out/fleet_progress.ndjson"
+
 echo "== chaos: fault-injection campaign must be deterministic =="
 # --check runs the campaign twice (1 worker, then 2), asserts CSV/JSON
 # byte-identity (the campaign summary is a pure function of those rows),
@@ -62,6 +81,15 @@ echo "== chaos: fault-injection campaign must be deterministic =="
 # degradation invariants inline.
 cargo run -q --release -p ulp-bench --bin chaos --offline -- \
   --seeds 2 --horizon 15000 --threads 2 --check > /dev/null
+
+echo "== bench smoke: one iteration per bench, BENCH JSON schema-checked =="
+# Test mode (no --bench flag) runs every benchmark body once and still
+# records a single timing; ULP_BENCH_DIR makes each harness emit its
+# BENCH_<name>.json, which benchcheck gates for schema and finiteness.
+# The checked-in baselines at the repo root get the same gate.
+ULP_BENCH_DIR="$trace_out" cargo test -q --benches --workspace --offline > /dev/null
+cargo run -q -p ulp-bench --bin benchcheck --offline -- \
+  "$trace_out"/BENCH_*.json BENCH_*.json > /dev/null
 
 echo "== dependency closure must be in-tree only =="
 external=$(cargo tree --workspace --edges normal,build --prefix none --offline \
