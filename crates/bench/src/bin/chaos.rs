@@ -190,8 +190,11 @@ fn main() {
         .lines()
         .last()
         .unwrap_or("# aggregate: empty campaign");
-    println!(
-        "\n{aggregate}\n{} points in {:.3} s on {} worker(s)",
+    println!("\n{aggregate}");
+    // Wall-clock summary to stderr: stdout stays byte-identical across
+    // runs, like fleet's.
+    eprintln!(
+        "\n{} points in {:.3} s on {} worker(s)",
         results.rows().len(),
         results.elapsed().as_secs_f64(),
         results.threads()

@@ -1,64 +1,97 @@
 //! `epcheck`: lint the shipped event-processor ISR programs with the
-//! `ulp-verify` static checker.
+//! `ulp-verify` static checker, or (in `--mcu8` mode) the shipped
+//! Mica2 firmware images with the whole-firmware mcu8 analyzer.
 //!
 //! ```text
 //! cargo run -p ulp-bench --bin epcheck
+//! cargo run -p ulp-bench --bin epcheck -- --mcu8
 //! ```
 //!
 //! Flags:
 //!
 //! * (no flags) — check every shipped stage-1–4 application plus the
 //!   `blink`/`sense` comparison apps and print the reports
+//! * `--mcu8`    — check the shipped Mica2 (baseline MCU) firmware
+//!   images instead: CFG recovery, stack/interrupt-safety lints, and
+//!   loop-bounded per-vector WCET
 //! * `--fixture` — print the diagnostic fixture suite instead (one
-//!   deliberately broken ISR per diagnostic class)
+//!   deliberately broken program per diagnostic class; combines with
+//!   `--mcu8`)
 //! * `--check`   — render everything twice and assert the output is
 //!   byte-identical (the determinism contract the goldens pin)
 //!
 //! Exit status is 1 if any shipped program has an error-severity
-//! finding (the fixture suite is expected to be full of them and does
+//! finding (the fixture suites are expected to be full of them and do
 //! not affect the exit status).
 
 use std::process::exit;
 
-use ulp_bench::epcheck;
+use ulp_bench::{epcheck, mcu8check};
 
 fn usage() -> ! {
-    eprintln!("usage: epcheck [--fixture] [--check]");
+    eprintln!("usage: epcheck [--mcu8] [--fixture] [--check]");
     exit(2);
 }
 
 fn main() {
     let mut fixture = false;
     let mut check = false;
+    let mut mcu8 = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--fixture" => fixture = true,
             "--check" => check = true,
+            "--mcu8" => mcu8 = true,
             _ => usage(),
         }
     }
 
     if check {
-        assert_eq!(
-            epcheck::render_shipped(),
-            epcheck::render_shipped(),
-            "shipped report is not deterministic"
-        );
-        assert_eq!(
-            epcheck::render_fixture(),
-            epcheck::render_fixture(),
-            "fixture report is not deterministic"
-        );
-        println!("epcheck --check: both reports byte-identical across two runs");
+        if mcu8 {
+            assert_eq!(
+                mcu8check::render_shipped(),
+                mcu8check::render_shipped(),
+                "shipped report is not deterministic"
+            );
+            assert_eq!(
+                mcu8check::render_fixture(),
+                mcu8check::render_fixture(),
+                "fixture report is not deterministic"
+            );
+        } else {
+            assert_eq!(
+                epcheck::render_shipped(),
+                epcheck::render_shipped(),
+                "shipped report is not deterministic"
+            );
+            assert_eq!(
+                epcheck::render_fixture(),
+                epcheck::render_fixture(),
+                "fixture report is not deterministic"
+            );
+        }
+        let what = if mcu8 { "mcu8check" } else { "epcheck" };
+        println!("{what} --check: both reports byte-identical across two runs");
     }
 
     if fixture {
-        print!("{}", epcheck::render_fixture());
+        if mcu8 {
+            print!("{}", mcu8check::render_fixture());
+        } else {
+            print!("{}", epcheck::render_fixture());
+        }
         return;
     }
 
-    print!("{}", epcheck::render_shipped());
-    if epcheck::shipped_errors() > 0 {
-        exit(1);
+    if mcu8 {
+        print!("{}", mcu8check::render_shipped());
+        if mcu8check::shipped_errors() > 0 {
+            exit(1);
+        }
+    } else {
+        print!("{}", epcheck::render_shipped());
+        if epcheck::shipped_errors() > 0 {
+            exit(1);
+        }
     }
 }

@@ -215,7 +215,10 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
+    // Wall-clock summary goes to stderr with the other non-deterministic
+    // timing lines: stdout must stay byte-identical across runs (the
+    // --progress gate in scripts/verify.sh cmp's it).
+    eprintln!(
         "\n{} points in {:.3} s on {} worker(s)",
         results.rows().len(),
         results.elapsed().as_secs_f64(),

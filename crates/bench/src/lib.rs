@@ -22,7 +22,9 @@
 //! reference workload with the telemetry layer enabled and dumps
 //! deterministic Chrome/Perfetto trace JSON, CSV timelines, and metrics
 //! summaries (see [`tracegen`]); `epcheck` statically verifies the event
-//! processor ISR programs the other binaries load (see [`epcheck`]);
+//! processor ISR programs the other binaries load (see [`epcheck`]) and,
+//! in `--mcu8` mode, the shipped Mica2 firmware images with the
+//! whole-firmware `ulp-verify` analyzer (see [`mcu8check`]);
 //! `fleet` scales the lossy co-simulation (see [`cosim`]) across a
 //! node-count × loss-rate × seed grid on the deterministic parallel
 //! sweep engine (see [`fleet`]), whose serialized results are
@@ -39,6 +41,7 @@ pub mod chaos;
 pub mod cosim;
 pub mod epcheck;
 pub mod fleet;
+pub mod mcu8check;
 pub mod measure;
 pub mod perf;
 pub mod report;

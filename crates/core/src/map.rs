@@ -524,6 +524,15 @@ pub fn register_at(addr: u16) -> Option<(&'static RegionDef, &'static RegisterDe
     Some((region, reg))
 }
 
+/// Whether two half-open byte ranges `[a.0, a.1)` and `[b.0, b.1)`
+/// intersect. Shared by the vector-table conformance checks: the EP
+/// checker tests ISR images against the tables below 0x0100, and the
+/// mcu8 firmware analyzer tests recovered code blocks against the
+/// ATmega-style vector slots at the bottom of flash.
+pub fn ranges_overlap(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
 /// The 5-bit component id that must be powered for an access to `addr`
 /// to succeed, or `None` if the address is unmapped or always-on.
 /// Memory resolves to the 256-byte bank's id (8–15).

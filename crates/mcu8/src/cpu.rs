@@ -1,7 +1,8 @@
 //! The AVR-subset CPU core: architectural state and instruction execution.
 
 use crate::bus::Bus;
-use crate::insn::{decode, Insn, Ptr, PtrMode};
+use crate::insn::{decode, DecodedInsn, Insn, Ptr, PtrMode};
+use crate::predecode::Predecoded;
 
 /// SREG carry flag bit.
 pub const SREG_C: u8 = 0;
@@ -120,6 +121,26 @@ impl Cpu {
     /// cycles consumed. A halted CPU consumes nothing; a sleeping CPU
     /// with no pending interrupt consumes one idle cycle.
     pub fn step<B: Bus>(&mut self, bus: &mut B) -> u8 {
+        self.step_inner(bus, None)
+    }
+
+    /// [`step`](Cpu::step), but decoding from a shared [`Predecoded`]
+    /// table instead of fetching and decoding per instruction.
+    ///
+    /// Architecturally bit-identical to `step` **provided** the table
+    /// was built from the same words `bus.fetch` would return and the
+    /// bus's fetch is side-effect free (true of [`FlatBus`] and the
+    /// Mica2 flash; *not* true of the `ulp-core` unified bus, which
+    /// must keep the fetch path). The bus's [`fetch_penalty`] is still
+    /// charged per word, so timing models survive the switch.
+    ///
+    /// [`FlatBus`]: crate::FlatBus
+    /// [`fetch_penalty`]: Bus::fetch_penalty
+    pub fn step_predecoded<B: Bus>(&mut self, bus: &mut B, table: &Predecoded) -> u8 {
+        self.step_inner(bus, Some(table))
+    }
+
+    fn step_inner<B: Bus>(&mut self, bus: &mut B, table: Option<&Predecoded>) -> u8 {
         if self.halted {
             return 0;
         }
@@ -141,17 +162,39 @@ impl Cpu {
             return 1;
         }
         let penalty = bus.fetch_penalty();
-        let w0 = bus.fetch(self.pc);
-        let w1 = bus.fetch(self.pc.wrapping_add(1));
-        let d = decode(w0, w1);
+        let d = self.decode_at(bus, table, self.pc);
         let mut cycles = d.cycles + d.words * penalty;
         self.pc = self.pc.wrapping_add(d.words as u16);
-        cycles += self.execute(bus, d.insn, penalty);
+        cycles += self.execute(bus, table, d.insn, penalty);
         self.total_cycles += cycles as u64;
         cycles
     }
 
-    fn execute<B: Bus>(&mut self, bus: &mut B, insn: Insn, penalty: u8) -> u8 {
+    /// Decode the instruction at word address `pc`: table lookup when a
+    /// predecoded image is supplied, fetch-and-decode otherwise.
+    fn decode_at<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        table: Option<&Predecoded>,
+        pc: u16,
+    ) -> DecodedInsn {
+        match table {
+            Some(t) => t.get(pc),
+            None => {
+                let w0 = bus.fetch(pc);
+                let w1 = bus.fetch(pc.wrapping_add(1));
+                decode(w0, w1)
+            }
+        }
+    }
+
+    fn execute<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        table: Option<&Predecoded>,
+        insn: Insn,
+        penalty: u8,
+    ) -> u8 {
         let mut extra = 0u8;
         match insn {
             Insn::Nop | Insn::Wdr => {}
@@ -202,7 +245,7 @@ impl Cpu {
             }
             Insn::Cpse { d, r } => {
                 if self.regs[d as usize] == self.regs[r as usize] {
-                    extra += self.skip_next(bus, penalty);
+                    extra += self.skip_next(bus, table, penalty);
                 }
             }
             Insn::Mul { d, r } => {
@@ -370,22 +413,22 @@ impl Cpu {
             }
             Insn::Sbrc { r, b } => {
                 if self.regs[r as usize] & (1 << b) == 0 {
-                    extra += self.skip_next(bus, penalty);
+                    extra += self.skip_next(bus, table, penalty);
                 }
             }
             Insn::Sbrs { r, b } => {
                 if self.regs[r as usize] & (1 << b) != 0 {
-                    extra += self.skip_next(bus, penalty);
+                    extra += self.skip_next(bus, table, penalty);
                 }
             }
             Insn::Sbic { a, b } => {
                 if self.io_read(bus, a) & (1 << b) == 0 {
-                    extra += self.skip_next(bus, penalty);
+                    extra += self.skip_next(bus, table, penalty);
                 }
             }
             Insn::Sbis { a, b } => {
                 if self.io_read(bus, a) & (1 << b) != 0 {
-                    extra += self.skip_next(bus, penalty);
+                    extra += self.skip_next(bus, table, penalty);
                 }
             }
             Insn::Sbi { a, b } => {
@@ -497,10 +540,8 @@ impl Cpu {
 
     /// Skip the next instruction; returns the extra cycles (its length,
     /// plus the fetch penalty it would have incurred).
-    fn skip_next<B: Bus>(&mut self, bus: &mut B, penalty: u8) -> u8 {
-        let w0 = bus.fetch(self.pc);
-        let w1 = bus.fetch(self.pc.wrapping_add(1));
-        let d = decode(w0, w1);
+    fn skip_next<B: Bus>(&mut self, bus: &mut B, table: Option<&Predecoded>, penalty: u8) -> u8 {
+        let d = self.decode_at(bus, table, self.pc);
         self.pc = self.pc.wrapping_add(d.words as u16);
         d.words * (1 + penalty)
     }

@@ -5,7 +5,7 @@
 use crate::io;
 use std::collections::VecDeque;
 use ulp_isa::asm::Image;
-use ulp_mcu8::{Bus, Cpu};
+use ulp_mcu8::{Bus, Cpu, Predecoded};
 use ulp_net::PhyTiming;
 use ulp_sim::fault::{FaultDisposition, FaultKind};
 use ulp_sim::telemetry::{Log2Histogram, Metrics};
@@ -19,6 +19,34 @@ pub const RAM_SIZE: usize = 4096;
 /// Handle to a registered cycle probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbeId(usize);
+
+/// Why a symbol-addressed probe could not be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The named symbol is absent from the image.
+    MissingSymbol(String),
+    /// The symbol resolves to an odd byte address, which cannot name an
+    /// instruction boundary.
+    UnalignedSymbol {
+        /// The offending symbol.
+        symbol: String,
+        /// Its (odd) byte address.
+        addr: i64,
+    },
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::MissingSymbol(s) => write!(f, "symbol `{s}` not found"),
+            ProbeError::UnalignedSymbol { symbol, addr } => {
+                write!(f, "symbol `{symbol}` not word-aligned (0x{addr:04X})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
 
 /// A PC-watchpoint cycle probe: counts cycles from the first fetch of
 /// `start` to the next fetch of `end` (word addresses), like measuring a
@@ -253,6 +281,8 @@ pub struct Mica2Board {
     exec_trace: VecDeque<(u64, u16)>,
     trace: TraceBuffer,
     sent_total: u64,
+    predecoded: Predecoded,
+    use_predecode: bool,
 }
 
 impl std::fmt::Debug for Mica2Board {
@@ -278,6 +308,9 @@ impl Mica2Board {
                 bus.program[seg.origin as usize / 2 + i] = u16::from_le_bytes([pair[0], pair[1]]);
             }
         }
+        // Flash fetches are side-effect free on this board, so the
+        // whole image predecodes once; the step loop is a table lookup.
+        let predecoded = Predecoded::from_words(&bus.program);
         Mica2Board {
             cpu: Cpu::new(),
             bus,
@@ -292,7 +325,17 @@ impl Mica2Board {
             exec_trace: VecDeque::new(),
             trace: TraceBuffer::new(65_536),
             sent_total: 0,
+            predecoded,
+            use_predecode: true,
         }
+    }
+
+    /// Select between predecoded-table stepping (default) and the
+    /// legacy fetch-and-decode-per-instruction path. The two are
+    /// bit-identical (pinned by the determinism suite); the toggle
+    /// exists so parity tests and benchmarks can compare them.
+    pub fn set_predecode(&mut self, on: bool) {
+        self.use_predecode = on;
     }
 
     /// The typed trace buffer (enable to record IRQ, radio, and CPU
@@ -394,23 +437,46 @@ impl Mica2Board {
     ///
     /// # Panics
     ///
-    /// Panics if either symbol is missing or odd.
+    /// Panics if either symbol is missing or odd; use
+    /// [`try_probe_symbols`](Mica2Board::try_probe_symbols) for a
+    /// fallible variant.
     pub fn probe_symbols(&mut self, image: &Image, name: &str, start: &str, end: &str) -> ProbeId {
-        let resolve = |sym: &str| -> u16 {
+        self.try_probe_symbols(image, name, start, end)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`probe_symbols`](Mica2Board::probe_symbols) with a typed error
+    /// instead of a panic, for callers probing images they did not
+    /// assemble themselves.
+    pub fn try_probe_symbols(
+        &mut self,
+        image: &Image,
+        name: &str,
+        start: &str,
+        end: &str,
+    ) -> Result<ProbeId, ProbeError> {
+        let resolve = |sym: &str| -> Result<u16, ProbeError> {
             let v = image
                 .symbol(sym)
-                .unwrap_or_else(|| panic!("symbol `{sym}` not found"));
-            assert!(v % 2 == 0, "symbol `{sym}` not word-aligned");
-            (v / 2) as u16
+                .ok_or_else(|| ProbeError::MissingSymbol(sym.to_string()))?;
+            if v % 2 != 0 {
+                return Err(ProbeError::UnalignedSymbol {
+                    symbol: sym.to_string(),
+                    addr: v,
+                });
+            }
+            Ok((v / 2) as u16)
         };
+        let start = resolve(start)?;
+        let end = resolve(end)?;
         self.probes.push(Probe {
             name: name.to_string(),
-            start: resolve(start),
-            end: resolve(end),
+            start,
+            end,
             armed_at: None,
             results: Vec::new(),
         });
-        ProbeId(self.probes.len() - 1)
+        Ok(ProbeId(self.probes.len() - 1))
     }
 
     /// A registered probe's state.
@@ -667,7 +733,11 @@ impl Simulatable for Mica2Board {
         }
         let mode_before = self.mode();
         let was_sleeping = self.cpu.sleeping();
-        let cycles = self.cpu.step(&mut self.bus) as u64;
+        let cycles = if self.use_predecode {
+            self.cpu.step_predecoded(&mut self.bus, &self.predecoded) as u64
+        } else {
+            self.cpu.step(&mut self.bus) as u64
+        };
         let cycles = cycles.max(1);
         self.now += Cycles(cycles);
         self.bus.now = self.now.0;

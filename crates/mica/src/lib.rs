@@ -30,6 +30,6 @@ pub mod msp430;
 pub mod power;
 pub mod runtime;
 
-pub use board::{Mica2Board, Probe, ProbeId};
+pub use board::{Mica2Board, Probe, ProbeError, ProbeId};
 pub use power::{Mica2Power, SleepMode};
 pub use runtime::RuntimeBuilder;

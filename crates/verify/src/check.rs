@@ -334,7 +334,7 @@ pub fn check_isr(bytes: &[u8], ctx: &CheckContext) -> Report {
     // Image placement checks.
     if let Some(isr_addr) = ctx.isr_addr {
         let image_end = u32::from(isr_addr) + bytes.len() as u32;
-        if u32::from(isr_addr) < 0x0100 {
+        if map::ranges_overlap((u32::from(isr_addr), image_end), (0, 0x0100)) {
             walk.diags.push(Diagnostic {
                 class: DiagClass::VectorOverlap,
                 offset: None,

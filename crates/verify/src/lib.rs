@@ -34,6 +34,20 @@
 //! measured cycle count. The simulator is the ground truth that keeps
 //! this analyzer honest.
 //!
+//! # Whole-firmware analysis for mcu8
+//!
+//! The Mica2 baseline's firmware is the opposite problem — branches,
+//! loops, subroutines, a software stack, preemptive interrupts — and
+//! gets its own analyzer, [`check_firmware`]: CFG recovery from the
+//! same `ulp_mcu8::Predecoded` table the simulator steps, a
+//! register/stack abstract interpretation composed bottom-up through
+//! the call graph, interrupt-safety lints ([`FwDiagClass`]), WCET
+//! bounds that recover immediate-counted loop trip counts, and a
+//! whole-firmware stack bound. Cross-validated the same way: exact
+//! WCETs equal measured dispatch-to-`reti` cycles, upper bounds cover
+//! every run, stack figures match the observed SP excursion
+//! (`tests/mcu8_crossval.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -51,6 +65,11 @@
 
 mod check;
 mod diag;
+mod mcu8;
 
 pub use check::{check_isr, CheckContext, PowerState};
 pub use diag::{DiagClass, Diagnostic, Report, Severity};
+pub use mcu8::{
+    check_firmware, EntryReport, FirmwareConfig, FirmwareReport, FwDiagClass, FwDiagnostic,
+    VectorDispatch, WcetBound,
+};

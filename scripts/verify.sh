@@ -15,6 +15,11 @@ export CARGO_NET_OFFLINE=true
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
+echo "== cargo build --release --workspace --all-targets --offline =="
+# Everything must build in release mode too — benches, tests, examples —
+# so a latent release-only breakage can't hide behind the debug gates.
+cargo build --release --workspace --all-targets --offline
+
 echo "== cargo test -q --offline (tier-1) =="
 cargo test -q --offline
 
@@ -33,6 +38,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace --offline
 echo "== epcheck: shipped EP ISRs must lint clean =="
 cargo run -q -p ulp-bench --bin epcheck --offline > /dev/null
 cargo run -q -p ulp-bench --bin epcheck --offline -- --check > /dev/null
+
+echo "== epcheck --mcu8: shipped Mica2 firmware must verify clean =="
+# The whole-firmware analyzer: CFG recovery, stack bounds, interrupt-
+# safety lints, and per-vector WCET against the one-tick budget. Exit
+# status 1 on any error-severity finding in a shipped image.
+cargo run -q -p ulp-bench --bin epcheck --offline -- --mcu8 > /dev/null
+cargo run -q -p ulp-bench --bin epcheck --offline -- --mcu8 --check > /dev/null
 
 echo "== telemetry trace dumper: deterministic + well-formed JSON =="
 # --check runs the workload twice, asserts the Perfetto JSON / CSV /

@@ -168,3 +168,19 @@ fn epcheck_reports_are_pinned_and_deterministic() {
     assert_golden("epcheck_fixture.txt", &fixture);
     assert_eq!(epcheck::shipped_errors(), 0, "shipped ISRs must be clean");
 }
+
+#[test]
+fn mcu8check_reports_are_pinned_and_deterministic() {
+    // Same contract for the whole-firmware mcu8 analyzer: every shipped
+    // Mica2 image verifies clean (pinning each vector's stack depth and
+    // WCET bound), and the fixture suite pins one rendered diagnostic
+    // per class.
+    use ulp_bench::mcu8check;
+    let shipped = mcu8check::render_shipped();
+    let fixture = mcu8check::render_fixture();
+    assert_eq!(shipped, mcu8check::render_shipped(), "shipped nondeterminism");
+    assert_eq!(fixture, mcu8check::render_fixture(), "fixture nondeterminism");
+    assert_golden("mcu8check_shipped.txt", &shipped);
+    assert_golden("mcu8check_fixture.txt", &fixture);
+    assert_eq!(mcu8check::shipped_errors(), 0, "shipped firmware must be clean");
+}
