@@ -9,16 +9,28 @@
 //!
 //! ```text
 //! cargo run --release -p ulp-bench --bin fleet -- --nodes 64,128 --seeds 16
+//! cargo run --release -p ulp-bench --bin fleet -- --dense --nodes 10000
 //! ```
 //!
 //! Flags:
 //!
-//! * `--nodes A[,B,…]` — node counts to sweep (default `64`)
+//! * `--nodes A[,B,…]` — node counts to sweep (default `64`; `1024`
+//!   with `--dense`)
 //! * `--loss  A[,B,…]` — loss probabilities to sweep (default `0.1`)
-//! * `--seeds N`       — seeds `0..N` per cell (default `8`)
-//! * `--slots N`       — horizon in 10 µs co-sim slots (default `12000`)
+//! * `--seeds N`       — seeds `0..N` per cell (default `8`; `1` with
+//!   `--dense`)
+//! * `--slots N`       — horizon in 10 µs co-sim slots (default `12000`;
+//!   `20000` with `--dense`)
 //! * `--threads N`     — worker count (default `ULP_FLEET_THREADS`, else
 //!   the machine's available parallelism)
+//! * `--dense`         — spatial dense-network mode: tiles of 64 nodes
+//!   on the event-wheel [`SpatialMedium`](ulp_net::SpatialMedium), one
+//!   grid point per tile, aggregated per scenario (see
+//!   [`ulp_bench::dense`])
+//! * `--density A[,B,…]` — (`--dense` only) nodes per hectare
+//!   (default `25`)
+//! * `--duty A[,B,…]`  — (`--dense` only) sample period in cycles
+//!   (default `5000`)
 //! * `--csv PATH` / `--json PATH` — write the machine-readable results
 //! * `--check`         — run the whole sweep twice (1 worker, then N),
 //!   assert CSV and JSON byte-identity, validate the JSON with the
@@ -33,6 +45,7 @@
 use std::process::exit;
 
 use ulp_bench::cosim::{run_cosim, CosimConfig, CosimSummary};
+use ulp_bench::dense::{self, DenseConfig};
 use ulp_bench::fleet::{self, Cell, Coords, Sweep, SweepObserver, SweepResults};
 use ulp_bench::perf::ProgressMeter;
 use ulp_bench::TableWriter;
@@ -40,8 +53,9 @@ use ulp_sim::telemetry::validate_json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fleet [--nodes A[,B,..]] [--loss A[,B,..]] [--seeds N] \
-         [--slots N] [--threads N] [--csv FILE] [--json FILE] [--check] [--progress]"
+        "usage: fleet [--dense] [--nodes A[,B,..]] [--loss A[,B,..]] \
+         [--density A[,B,..]] [--duty A[,B,..]] [--seeds N] [--slots N] \
+         [--threads N] [--csv FILE] [--json FILE] [--check] [--progress]"
     );
     exit(2);
 }
@@ -113,55 +127,15 @@ fn build_sweep(
     sweep
 }
 
-fn main() {
-    let mut nodes: Vec<usize> = vec![64];
-    let mut losses: Vec<f64> = vec![0.1];
-    let mut seeds: u64 = 8;
-    let mut slots: u64 = CosimConfig::default().horizon_slots;
-    let mut threads: usize = fleet::fleet_threads();
-    let mut csv_path: Option<String> = None;
-    let mut json_path: Option<String> = None;
-    let mut check = false;
-    let mut progress = false;
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next().unwrap_or_else(|| {
-                eprintln!("{name} needs a value");
-                usage()
-            })
-        };
-        match arg.as_str() {
-            "--nodes" => nodes = parse_list("--nodes", &value("--nodes")),
-            "--loss" => losses = parse_list("--loss", &value("--loss")),
-            "--seeds" => seeds = parse_list::<u64>("--seeds", &value("--seeds"))[0],
-            "--slots" => slots = parse_list::<u64>("--slots", &value("--slots"))[0],
-            "--threads" => threads = parse_list::<usize>("--threads", &value("--threads"))[0].max(1),
-            "--csv" => csv_path = Some(value("--csv")),
-            "--json" => json_path = Some(value("--json")),
-            "--check" => check = true,
-            "--progress" => progress = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag `{other}`");
-                usage()
-            }
-        }
-    }
-    if nodes.is_empty() || losses.is_empty() || seeds == 0 {
-        eprintln!("empty grid");
-        usage();
-    }
-
-    let sweep = build_sweep(&nodes, &losses, seeds, slots);
-    eprintln!(
-        "fleet: {} grid points (nodes {nodes:?} x loss {losses:?} x {seeds} seeds), \
-         {slots} slots each, {threads} worker(s)",
-        sweep.len()
-    );
-
-    let eval = |_: &Coords, cfg: &CosimConfig| cells(&run_cosim(cfg));
+/// Run a sweep with the shared `--check` / `--progress` machinery and
+/// return its (thread-count-invariant) results.
+fn execute<P: Sync>(
+    sweep: &Sweep<P>,
+    threads: usize,
+    check: bool,
+    progress: bool,
+    eval: impl Fn(&Coords, &P) -> Vec<Cell> + Sync,
+) -> SweepResults {
     // A `--check` run executes the grid twice (serial, then parallel),
     // so the heartbeat total is 2 × the grid size.
     let meter_total = if check { 2 * sweep.len() } else { sweep.len() };
@@ -170,9 +144,9 @@ fn main() {
         Some(m) => m,
         None => &(),
     };
-    let results: SweepResults = if check {
+    if check {
         let (results, speedup) =
-            fleet::measure_speedup_observed(&sweep, threads, eval, observer).unwrap_or_else(|e| {
+            fleet::measure_speedup_observed(sweep, threads, eval, observer).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 exit(1);
             });
@@ -188,7 +162,106 @@ fn main() {
             eprintln!("{e}");
             exit(1);
         })
-    };
+    }
+}
+
+fn main() {
+    let mut nodes: Option<Vec<usize>> = None;
+    let mut losses: Vec<f64> = vec![0.1];
+    let mut densities: Vec<f64> = vec![25.0];
+    let mut duties: Vec<u16> = vec![5_000];
+    let mut seeds: Option<u64> = None;
+    let mut slots: Option<u64> = None;
+    let mut threads: usize = fleet::fleet_threads();
+    let mut csv_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut dense_mode = false;
+    let mut check = false;
+    let mut progress = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--nodes" => nodes = Some(parse_list("--nodes", &value("--nodes"))),
+            "--loss" => losses = parse_list("--loss", &value("--loss")),
+            "--density" => densities = parse_list("--density", &value("--density")),
+            "--duty" => duties = parse_list("--duty", &value("--duty")),
+            "--seeds" => seeds = Some(parse_list::<u64>("--seeds", &value("--seeds"))[0]),
+            "--slots" => slots = Some(parse_list::<u64>("--slots", &value("--slots"))[0]),
+            "--threads" => threads = parse_list::<usize>("--threads", &value("--threads"))[0].max(1),
+            "--csv" => csv_path = Some(value("--csv")),
+            "--json" => json_path = Some(value("--json")),
+            "--dense" => dense_mode = true,
+            "--check" => check = true,
+            "--progress" => progress = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let nodes = nodes.unwrap_or_else(|| vec![if dense_mode { 1_024 } else { 64 }]);
+    let seeds = seeds.unwrap_or(if dense_mode { 1 } else { 8 });
+    let slots = slots.unwrap_or(if dense_mode {
+        DenseConfig::default().horizon_slots
+    } else {
+        CosimConfig::default().horizon_slots
+    });
+    if nodes.is_empty() || losses.is_empty() || densities.is_empty() || duties.is_empty() || seeds == 0
+    {
+        eprintln!("empty grid");
+        usage();
+    }
+
+    if dense_mode {
+        let base_seed = DenseConfig::default().seed;
+        let mut scenarios = Vec::new();
+        for &n in &nodes {
+            for &density in &densities {
+                for &duty in &duties {
+                    for seed in 0..seeds {
+                        scenarios.push(DenseConfig {
+                            nodes: n,
+                            density_per_ha: density,
+                            duty,
+                            horizon_slots: slots,
+                            seed: base_seed + seed,
+                        });
+                    }
+                }
+            }
+        }
+        let sweep = dense::dense_sweep(&scenarios);
+        eprintln!(
+            "fleet --dense: {} tiles over {} scenario(s) (nodes {nodes:?} x density \
+             {densities:?} x duty {duties:?} x {seeds} seed(s)), {slots} slots each, \
+             {threads} worker(s)",
+            sweep.len(),
+            scenarios.len()
+        );
+        let results = execute(&sweep, threads, check, progress, dense::dense_eval);
+        print!("{}", dense::dense_report(&results));
+        finish(&results, csv_path.as_deref(), json_path.as_deref());
+        return;
+    }
+
+    let sweep = build_sweep(&nodes, &losses, seeds, slots);
+    eprintln!(
+        "fleet: {} grid points (nodes {nodes:?} x loss {losses:?} x {seeds} seeds), \
+         {slots} slots each, {threads} worker(s)",
+        sweep.len()
+    );
+
+    let results = execute(&sweep, threads, check, progress, |_: &Coords, cfg| {
+        cells(&run_cosim(cfg))
+    });
 
     let mut t = TableWriter::new(&[
         "Nodes", "Loss", "Seed", "Sent", "Heard", "Lost", "Wakeups", "Energy", "p99",
@@ -215,21 +288,25 @@ fn main() {
         ]);
     }
     t.print();
-    // Wall-clock summary goes to stderr with the other non-deterministic
-    // timing lines: stdout must stay byte-identical across runs (the
-    // --progress gate in scripts/verify.sh cmp's it).
+    finish(&results, csv_path.as_deref(), json_path.as_deref());
+}
+
+/// Wall-clock summary plus the machine-readable exports, shared by both
+/// modes. Timing goes to stderr with the other non-deterministic lines:
+/// stdout must stay byte-identical across runs (the --progress gate in
+/// scripts/verify.sh cmp's it).
+fn finish(results: &SweepResults, csv_path: Option<&str>, json_path: Option<&str>) {
     eprintln!(
         "\n{} points in {:.3} s on {} worker(s)",
         results.rows().len(),
         results.elapsed().as_secs_f64(),
         results.threads()
     );
-
-    if let Some(path) = &csv_path {
+    if let Some(path) = csv_path {
         std::fs::write(path, results.to_csv()).expect("write --csv");
         eprintln!("wrote {path}");
     }
-    if let Some(path) = &json_path {
+    if let Some(path) = json_path {
         std::fs::write(path, results.to_json()).expect("write --json");
         eprintln!("wrote {path}");
     }

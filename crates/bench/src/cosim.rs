@@ -22,8 +22,13 @@
 use ulp_apps::ulp::{monitoring, AppStage, MonitoringConfig, SamplePeriod};
 use ulp_core::slaves::RandomWalkSensor;
 use ulp_core::{System, SystemConfig};
-use ulp_net::{Medium, MediumConfig};
+use ulp_net::{EventWheel, Medium, MediumConfig};
 use ulp_sim::{Cycles, Metrics, Simulatable, StepOutcome};
+
+/// Simulated microseconds per node cycle (100 kHz system clock): the
+/// conversion between node cycles and medium microseconds, shared with
+/// the dense spatial driver ([`crate::dense`]).
+pub const SLOT_US: u64 = 10;
 
 /// One co-simulation grid point: everything that varies across the
 /// sweep, plus the shared horizon.
@@ -94,14 +99,171 @@ pub struct CosimSummary {
 /// a failed scenario is precisely what the fleet engine's
 /// panic-with-coordinates reporting exists to surface.
 pub fn run_cosim(cfg: &CosimConfig) -> CosimSummary {
+    let (mut medium, mut nodes, base) = build_population(cfg);
+    let mut heard = 0u64;
+    for cycle in 1..=cfg.horizon_slots {
+        let now_us = cycle * SLOT_US;
+        for (endpoint, node) in nodes.iter_mut() {
+            for d in medium.poll(*endpoint, now_us) {
+                node.schedule_rx(Cycles(cycle + 1), d.bytes);
+            }
+            if node.now() < Cycles(cycle) {
+                let outcome = node.step();
+                assert!(
+                    !matches!(outcome, StepOutcome::Halted),
+                    "node at endpoint {endpoint} halted"
+                );
+            }
+            for (at, bytes) in node.take_outbox() {
+                medium.transmit(*endpoint, at.0 * SLOT_US, &bytes);
+            }
+        }
+        heard += medium.poll(base, now_us).len() as u64;
+    }
+    summarize(&medium, &nodes, heard)
+}
+
+/// Run one co-simulation grid point on the event-wheel scheduler: only
+/// nodes with pending events (timer wakeup, frame arrival, or an ongoing
+/// busy span) are touched, instead of polling every node every slot.
+///
+/// Produces the **same summary** as [`run_cosim`] — every integer
+/// counter is bit-identical because medium RNG draws happen in the same
+/// `(slot, node index)` order, and the energy total matches to the
+/// fast-forward tolerance (idle spans are charged in one lump via
+/// `skip_to` instead of per-cycle, which reorders the floating-point
+/// sum). `tests/net_scale.rs` asserts both claims over random configs.
+///
+/// The win is asymptotic, not constant-factor: slot-stepping is
+/// O(nodes × slots) regardless of activity, while this driver is
+/// O(events). A 1k-node population at a realistic duty cycle is mostly
+/// asleep, so the wheel does ~1% of the work.
+///
+/// # Panics
+///
+/// Same contract as [`run_cosim`]: panics on an empty population, a
+/// faulted node, or a halted node.
+pub fn run_cosim_event(cfg: &CosimConfig) -> CosimSummary {
+    let (mut medium, mut nodes, base) = build_population(cfg);
+    let horizon = cfg.horizon_slots;
+    // Earliest scheduled activation cycle per node; `wheel` may hold
+    // stale (later) entries for a node, dropped on pop by comparing
+    // against this. One live activation per node at any time.
+    let mut pending: Vec<Option<u64>> = vec![None; nodes.len()];
+    let mut wheel: EventWheel<usize> = EventWheel::new();
+    let schedule_act = |wheel: &mut EventWheel<usize>,
+                            pending: &mut Vec<Option<u64>>,
+                            i: usize,
+                            c: u64| {
+        if c <= horizon && pending[i].is_none_or(|c0| c < c0) {
+            pending[i] = Some(c);
+            wheel.schedule(c, i);
+        }
+    };
+    for i in 0..nodes.len() {
+        schedule_act(&mut wheel, &mut pending, i, 1); // boot
+    }
+    while let Some(c) = wheel.peek_time() {
+        // Drain the whole tick and process it in node-index order: that
+        // is the order the slot-stepped loop makes its medium calls in,
+        // and the medium's loss draws are sequenced by transmit order.
+        let mut batch: Vec<usize> = Vec::new();
+        while wheel.peek_time() == Some(c) {
+            let (_, i) = wheel.pop().expect("peeked entry must pop");
+            if pending[i] == Some(c) {
+                batch.push(i);
+            }
+        }
+        batch.sort_unstable();
+        batch.dedup();
+        for i in batch {
+            pending[i] = None;
+            let (endpoint, node) = &mut nodes[i];
+            // Poll first, exactly like the slot-stepped loop does: an
+            // arrival due by this slot becomes an rx at the next cycle.
+            for d in medium.poll(*endpoint, c * SLOT_US) {
+                node.schedule_rx(Cycles(c + 1), d.bytes);
+            }
+            let outcome = advance_node(node, Cycles(c), *endpoint);
+            let outbox = node.take_outbox();
+            let transmitted = !outbox.is_empty();
+            for (at, bytes) in outbox {
+                medium.transmit(*endpoint, at.0 * SLOT_US, &bytes);
+            }
+            // A transmit may have queued arrivals for anyone: wake each
+            // endpoint with a pending arrival at the slot whose poll
+            // will see it (ceil to the next slot boundary).
+            if transmitted {
+                for (j, (ep, _)) in nodes.iter().enumerate() {
+                    if let Some(a_us) = medium.next_arrival(*ep) {
+                        let poll_at = a_us.div_ceil(SLOT_US).max(c + 1);
+                        schedule_act(&mut wheel, &mut pending, j, poll_at);
+                    }
+                }
+            } else if let Some(a_us) = medium.next_arrival(nodes[i].0) {
+                // Re-arm for arrivals still queued behind the ones this
+                // poll drained.
+                let poll_at = a_us.div_ceil(SLOT_US).max(c + 1);
+                schedule_act(&mut wheel, &mut pending, i, poll_at);
+            }
+            // Re-arm this node: busy spans step every cycle; an idle
+            // node sleeps until its next wakeup's firing cycle.
+            let next = match outcome {
+                StepOutcome::Busy => Some(c + 1),
+                _ => nodes[i].1.next_wakeup().map(|w| w.0.max(c) + 1),
+            };
+            if let Some(n) = next {
+                schedule_act(&mut wheel, &mut pending, i, n);
+            }
+        }
+    }
+    // Every node still owes its idle tail up to the horizon (energy
+    // accrues while asleep); events past the horizon stay unprocessed,
+    // exactly as in the slot-stepped loop.
+    for (endpoint, node) in nodes.iter_mut() {
+        advance_node(node, Cycles(horizon), *endpoint);
+    }
+    let heard = medium.poll(base, horizon * SLOT_US).len() as u64;
+    summarize(&medium, &nodes, heard)
+}
+
+/// Advance one node to `target` using the engine's idle-skip policy:
+/// step busy cycles one at a time, lump idle spans with `skip_to`
+/// clamped to the next wakeup. Returns the outcome of the last step
+/// (`Idle` if the node was already at `target`).
+fn advance_node(node: &mut System, target: Cycles, endpoint: usize) -> StepOutcome {
+    let mut outcome = StepOutcome::Idle;
+    while node.now() < target {
+        outcome = node.step();
+        match outcome {
+            StepOutcome::Busy => {}
+            StepOutcome::Halted => panic!("node at endpoint {endpoint} halted"),
+            StepOutcome::Idle => {
+                let now = node.now();
+                let skip = match node.next_wakeup() {
+                    Some(w) if w > now => w.min(target),
+                    Some(_) => continue, // wakeup due now: keep stepping
+                    None => target,
+                };
+                if skip > now {
+                    node.skip_to(skip);
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Build the shared medium plus the head-and-relays population used by
+/// both co-sim drivers; returns `(medium, [(endpoint, node)], base)`.
+fn build_population(cfg: &CosimConfig) -> (Medium, Vec<(usize, System)>, usize) {
     assert!(cfg.nodes >= 1, "co-sim needs at least the head node");
-    const SLOT_US: u64 = 10;
     let mut medium = Medium::new(MediumConfig {
         loss_probability: cfg.loss,
         propagation_delay_us: 30,
         seed: cfg.seed,
     });
-    let mut nodes: Vec<(usize, System)> = (0..cfg.nodes as u16)
+    let nodes: Vec<(usize, System)> = (0..cfg.nodes as u16)
         .map(|i| {
             let program = monitoring(&MonitoringConfig {
                 stage: AppStage::Forwarding,
@@ -127,32 +289,15 @@ pub fn run_cosim(cfg: &CosimConfig) -> CosimSummary {
         })
         .collect();
     let base = medium.register();
-    let mut heard = 0u64;
-    for cycle in 1..=cfg.horizon_slots {
-        let now_us = cycle * SLOT_US;
-        for (endpoint, node) in nodes.iter_mut() {
-            for d in medium.poll(*endpoint, now_us) {
-                node.schedule_rx(Cycles(cycle + 1), d.bytes);
-            }
-            if node.now() < Cycles(cycle) {
-                let outcome = node.step();
-                assert!(
-                    !matches!(outcome, StepOutcome::Halted),
-                    "node at endpoint {endpoint} halted"
-                );
-            }
-            for (at, bytes) in node.take_outbox() {
-                medium.transmit(*endpoint, at.0 * SLOT_US, &bytes);
-            }
-        }
-        heard += medium.poll(base, now_us).len() as u64;
-    }
+    (medium, nodes, base)
+}
 
+fn summarize(medium: &Medium, nodes: &[(usize, System)], heard: u64) -> CosimSummary {
     let mut fleet = Metrics::new();
     let mut radio_tx = 0u64;
     let mut mcu_wakeups = 0u64;
     let mut energy_j = 0.0f64;
-    for (endpoint, node) in &nodes {
+    for (endpoint, node) in nodes {
         assert!(
             node.fault().is_none(),
             "node at endpoint {endpoint} faulted: {:?}",
@@ -219,6 +364,38 @@ mod tests {
             ..CosimConfig::default()
         };
         assert_eq!(run_cosim(&cfg), run_cosim(&cfg));
+    }
+
+    /// The event-wheel driver is a drop-in replacement: every integer
+    /// counter bit-identical to the slot-stepped loop, energy within
+    /// the fast-forward tolerance. The property-level version (random
+    /// configs) lives in `tests/net_scale.rs`.
+    #[test]
+    fn event_driver_matches_slot_stepped_driver() {
+        let cfg = CosimConfig {
+            nodes: 8,
+            horizon_slots: 9_000,
+            ..CosimConfig::default()
+        };
+        let slot = run_cosim(&cfg);
+        let event = run_cosim_event(&cfg);
+        assert_eq!(
+            (slot.sent, slot.delivered, slot.lost, slot.heard),
+            (event.sent, event.delivered, event.lost, event.heard),
+            "channel counters diverged:\nslot  {slot:?}\nevent {event:?}"
+        );
+        assert_eq!(
+            (slot.radio_tx, slot.mcu_wakeups, slot.service_p99, slot.irqs_serviced),
+            (event.radio_tx, event.mcu_wakeups, event.service_p99, event.irqs_serviced),
+            "node counters diverged:\nslot  {slot:?}\nevent {event:?}"
+        );
+        let tol = slot.energy_j.abs() * 1e-12;
+        assert!(
+            (slot.energy_j - event.energy_j).abs() <= tol,
+            "energy diverged beyond fast-forward tolerance: {} vs {}",
+            slot.energy_j,
+            event.energy_j
+        );
     }
 
     #[test]

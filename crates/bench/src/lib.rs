@@ -39,6 +39,7 @@
 
 pub mod chaos;
 pub mod cosim;
+pub mod dense;
 pub mod epcheck;
 pub mod fleet;
 pub mod mcu8check;

@@ -1,4 +1,5 @@
-//! Broadcast medium for multi-node co-simulation.
+//! Broadcast medium for multi-node co-simulation — the *compatibility
+//! path*.
 //!
 //! All registered endpoints hear every transmission (single collision
 //! domain, like the deployments in §3 where nodes are one hop from the
@@ -6,7 +7,47 @@
 //! loses a frame with the configured probability, modelling fading
 //! without a full path-loss model — enough to exercise the
 //! retransmission-free, duplicate-suppressing forwarding logic of the
-//! message processor.
+//! message processor. For populations beyond a handful of nodes, use
+//! the scale path instead: [`crate::SpatialMedium`] (positions,
+//! pathloss, collisions, CSMA) scheduled on the [`crate::EventWheel`].
+//!
+//! # Determinism
+//!
+//! The medium is a pure function of its seed and the *sequence* of
+//! [`Medium::transmit`] calls: every per-receiver loss decision is one
+//! draw from the seeded [`ulp_testkit::Rng`], consumed in receiver
+//! order within each transmission. Two runs that issue the same
+//! transmissions in the same order produce bit-identical deliveries,
+//! stats, and event logs — regardless of when or how often receivers
+//! [`Medium::poll`]. This is what lets the event-wheel co-simulation
+//! driver (`ulp_bench::cosim::run_cosim_event`) replay the slot-stepped
+//! driver byte-for-byte: it preserves transmit order, nothing else
+//! matters.
+//!
+//! # Conservation
+//!
+//! Every transmission is accounted for exactly once per listening
+//! receiver: with `n` endpoints,
+//! `stats.delivered + stats.lost == stats.sent * (n - 1)`
+//! (a transmitter never hears itself). `tests/net_scale.rs` and the
+//! chaos campaigns assert this after every run.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_net::{Frame, Medium, MediumConfig};
+//!
+//! let mut medium = Medium::new(MediumConfig::default()); // lossless
+//! let a = medium.register();
+//! let b = medium.register();
+//! let frame = Frame::data(0x22, 0x0001, 0xFFFF, 1, b"hi")?;
+//! medium.transmit(a, 100, &frame.encode());
+//! let got = medium.poll(b, 1_000);
+//! assert_eq!(got.len(), 1);
+//! let s = medium.stats();
+//! assert_eq!(s.delivered + s.lost, s.sent * 1);
+//! # Ok::<(), ulp_net::FrameError>(())
+//! ```
 
 use std::collections::VecDeque;
 use ulp_testkit::Rng;

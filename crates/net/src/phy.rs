@@ -4,6 +4,23 @@
 //! byte takes 32 µs on air, and the paper picks a 30 µs maximum cycle
 //! time (`Ttarget` in Equation 1) so the event processor can keep up with
 //! the radio byte rate.
+//!
+//! Everything here is pure arithmetic on the chosen [`SymbolRate`] — no
+//! state, no randomness — so airtime figures are trivially deterministic
+//! and shared by both media ([`crate::Medium`] and
+//! [`crate::SpatialMedium`] both price a frame's channel occupancy from
+//! the same [`PhyTiming::frame_airtime_us`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_net::{PhyTiming, SymbolRate};
+//!
+//! let phy = PhyTiming::new(SymbolRate::Standard250k);
+//! assert_eq!(phy.us_per_byte(), 32.0);
+//! // A 12-byte MAC frame rides behind the 6-byte PHY preamble+SFD+len.
+//! assert_eq!(phy.frame_airtime_us(12), (6.0 + 12.0) * 32.0);
+//! ```
 
 /// Symbol/data rate of the 2.4 GHz O-QPSK PHY.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -4,6 +4,29 @@
 //! *incoming* packets — forwarding requests from neighbours and
 //! reconfiguration commands. These sources generate timestamped frames
 //! to inject into the [`crate::Medium`] or directly into a node's radio.
+//!
+//! Both generators are deterministic iterators: [`PeriodicTraffic`] is
+//! pure arithmetic, and [`PoissonTraffic`] draws its exponential
+//! inter-arrival gaps from a seeded [`ulp_testkit::Rng`], so a given
+//! (seed, rate, count) always yields the same timestamped sequence —
+//! sweeps and goldens that replay a traffic schedule are reproducible
+//! across runs, thread counts, and releases. Timestamps are
+//! non-decreasing, and a source with `count = n` yields exactly `n`
+//! events before returning `None`.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_net::{Frame, PeriodicTraffic, TrafficSource};
+//!
+//! let template = Frame::data(0x22, 0x0001, 0x0002, 0, b"tick")?;
+//! let mut src = PeriodicTraffic::new(template, 1_000, 500, 3);
+//! let times: Vec<u64> = std::iter::from_fn(|| src.next_event())
+//!     .map(|(t, _)| t)
+//!     .collect();
+//! assert_eq!(times, [1_000, 1_500, 2_000]);
+//! # Ok::<(), ulp_net::FrameError>(())
+//! ```
 
 use crate::frame::Frame;
 use ulp_testkit::Rng;

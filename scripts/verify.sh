@@ -86,6 +86,16 @@ cargo run -q --release -p ulp-bench --bin fleet --offline -- \
 cmp "$trace_out/fleet_plain.out" "$trace_out/fleet_progress.out"
 test -s "$trace_out/fleet_progress.ndjson"
 
+echo "== fleet --dense: density sweep must be shard-count invariant =="
+# The dense-network path shards 64-node spatial tiles across workers;
+# --check double-runs the sweep (1 worker, then N) and asserts the
+# merged CSV/JSON byte-identity, which also re-asserts per-tile packet
+# conservation inside every tile run. Two densities cover both
+# contention regimes (CSMA saturation and hidden terminals).
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --dense --nodes 256 --density 25,400 --slots 8000 --threads 2 --check \
+  > /dev/null
+
 echo "== chaos: fault-injection campaign must be deterministic =="
 # --check runs the campaign twice (1 worker, then 2), asserts CSV/JSON
 # byte-identity (the campaign summary is a pure function of those rows),

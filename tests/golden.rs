@@ -170,6 +170,23 @@ fn epcheck_reports_are_pinned_and_deterministic() {
 }
 
 #[test]
+fn dense_network_sweep_is_pinned() {
+    // The dense-network reproduction artifact: the default `fleet
+    // --dense` scenario — 1024 nodes in 16 spatial tiles on the
+    // event-wheel medium — sharded over two fleet workers. The merge is
+    // grid-order deterministic, so the aggregated report is
+    // byte-identical whatever the worker count (tests/net_scale.rs
+    // asserts that separately); any drift here is a real change to the
+    // channel model, the CSMA MAC, or the node stack.
+    use ulp_bench::dense::{dense_eval, dense_report, dense_sweep, DenseConfig};
+    let sweep = dense_sweep(&[DenseConfig::default()]);
+    let results = sweep
+        .run(2, dense_eval)
+        .expect("no dense tile may fail conservation");
+    assert_golden("dense_sweep.txt", &dense_report(&results));
+}
+
+#[test]
 fn mcu8check_reports_are_pinned_and_deterministic() {
     // Same contract for the whole-firmware mcu8 analyzer: every shipped
     // Mica2 image verifies clean (pinning each vector's stack depth and
