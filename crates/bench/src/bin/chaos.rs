@@ -27,10 +27,23 @@
 //! * `--check`         — run the whole campaign twice (1 worker, then
 //!   N), assert CSV/JSON byte-identity and summary byte-identity,
 //!   validate the JSON with the in-tree parser, and report points/sec
-//!   serial vs parallel
+//!   serial vs parallel; then run it twice more through a campaign
+//!   store (cold fill, reopened warm serve) asserting the stored passes
+//!   emit the same bytes and the warm pass executes zero points
 //! * `--progress`      — stream NDJSON heartbeats (points done/total,
 //!   points/sec, ETA, current coordinates) on **stderr**; stdout and
 //!   every written artifact are untouched
+//! * `--store DIR`     — serve grid points from the content-addressed
+//!   campaign store at DIR, execute and append only the misses
+//!   (see [`ulp_bench::store`]); an interrupted campaign re-run with
+//!   the same store resumes where it died
+//! * `--store-stats`   — print the store's NDJSON stats line
+//!   (records/torn/corrupt/hits/misses/collisions/appended) on stderr
+//! * `--shard K/N`     — fill mode: run only grid points `i ≡ K (mod N)`
+//!   and append them to the store (requires `--store`; no stdout
+//!   artifacts) so N independent processes can split one campaign
+//! * `--merge`         — after shard fills, emit the canonical full-grid
+//!   artifacts from the store (alias for a plain `--store` run)
 //!
 //! A violated degradation invariant aborts with the offending grid
 //! point's (app, rate, seed) coordinates.
@@ -38,15 +51,15 @@
 use std::process::exit;
 
 use ulp_bench::chaos::{campaign, campaign_summary, cells, run_chaos, ChaosApp, ChaosConfig};
-use ulp_bench::fleet::{self, Cell, Coords, SweepObserver, SweepResults};
-use ulp_bench::perf::ProgressMeter;
+use ulp_bench::fleet::{self, Cell, Coords, SweepResults};
+use ulp_bench::store::{drive, DriveConfig, Shard};
 use ulp_bench::TableWriter;
-use ulp_sim::telemetry::validate_json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--apps A[,B,..]] [--rates A[,B,..]] [--seeds N] \
-         [--horizon N] [--threads N] [--csv FILE] [--summary FILE] [--check] [--progress]"
+         [--horizon N] [--threads N] [--csv FILE] [--summary FILE] [--check] [--progress] \
+         [--store DIR] [--store-stats] [--shard K/N] [--merge]"
     );
     exit(2);
 }
@@ -72,6 +85,10 @@ fn main() {
     let mut summary_path: Option<String> = None;
     let mut check = false;
     let mut progress = false;
+    let mut store_dir: Option<String> = None;
+    let mut store_stats = false;
+    let mut shard: Option<Shard> = None;
+    let mut merge = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -103,6 +120,16 @@ fn main() {
             "--summary" => summary_path = Some(value("--summary")),
             "--check" => check = true,
             "--progress" => progress = true,
+            "--store" => store_dir = Some(value("--store")),
+            "--store-stats" => store_stats = true,
+            "--shard" => {
+                let raw = value("--shard");
+                shard = Some(Shard::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("--shard: `{raw}` is not K/N with K < N");
+                    usage()
+                }));
+            }
+            "--merge" => merge = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -118,6 +145,14 @@ fn main() {
         eprintln!("--rates must be in [0, 1] faults/cycle");
         usage();
     }
+    if (shard.is_some() || merge) && store_dir.is_none() {
+        eprintln!("--shard/--merge need --store DIR (the shared campaign store)");
+        usage();
+    }
+    if shard.is_some() && (check || merge) {
+        eprintln!("--shard is a fill mode; run --check/--merge unsharded");
+        usage();
+    }
 
     let sweep = campaign(&apps, &rates, seeds, horizon);
     eprintln!(
@@ -127,36 +162,30 @@ fn main() {
         apps.len()
     );
 
-    let eval = |_: &Coords, cfg: &ChaosConfig| cells(&run_chaos(cfg));
-    // `--check` drains the grid twice (serial, then parallel), so the
-    // heartbeat total is 2 × the grid size.
-    let meter_total = if check { 2 * sweep.len() } else { sweep.len() };
-    let meter = progress.then(|| ProgressMeter::stderr(sweep.name(), meter_total));
-    let observer: &dyn SweepObserver = match &meter {
-        Some(m) => m,
-        None => &(),
+    let drive_cfg = DriveConfig {
+        threads,
+        check,
+        progress,
+        store_dir: store_dir.map(Into::into),
+        store_stats,
+        shard,
     };
-    let results: SweepResults = if check {
-        let (results, speedup) =
-            fleet::measure_speedup_observed(&sweep, threads, eval, observer).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                exit(1);
-            });
-        if let Err(e) = validate_json(&results.to_json()) {
-            eprintln!("campaign JSON failed validation: {e}");
-            exit(1);
-        }
-        eprintln!(
-            "check ok: ULP_FLEET_THREADS=1 and ={threads} byte-identical, JSON well-formed"
-        );
-        eprintln!("check: {speedup}");
-        results
-    } else {
-        sweep.run_observed(threads, eval, observer).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            exit(1);
-        })
-    };
+    let results: SweepResults = drive(
+        &sweep,
+        &drive_cfg,
+        |_: &Coords, cfg: &ChaosConfig| cfg.store_key(),
+        |_: &Coords, cfg: &ChaosConfig| cells(&run_chaos(cfg)),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    if shard.is_some() {
+        // A shard worker only fills the store: its partial grid must
+        // not be mistaken for campaign output, so stdout artifacts are
+        // suppressed (the driver already printed the fill summary).
+        return;
+    }
 
     let mut t = TableWriter::new(&[
         "App", "Rate", "Seed", "Inj", "Abs", "Degr", "Fatal", "Sent", "Corrupt", "Halted",

@@ -34,10 +34,24 @@
 //! * `--csv PATH` / `--json PATH` — write the machine-readable results
 //! * `--check`         — run the whole sweep twice (1 worker, then N),
 //!   assert CSV and JSON byte-identity, validate the JSON with the
-//!   in-tree parser, and report points/sec serial vs parallel
+//!   in-tree parser, and report points/sec serial vs parallel; then run
+//!   it twice more through a campaign store (cold fill, reopened warm
+//!   serve) asserting the stored passes emit the same bytes and the
+//!   warm pass executes zero points
 //! * `--progress`      — stream NDJSON heartbeats (points done/total,
 //!   points/sec, ETA, current coordinates) on **stderr** while the grid
 //!   drains; stdout, CSV, and JSON bytes are untouched
+//! * `--store DIR`     — serve grid points from the content-addressed
+//!   campaign store at DIR, execute and append only the misses
+//!   (see [`ulp_bench::store`]); an interrupted campaign re-run with
+//!   the same store resumes where it died
+//! * `--store-stats`   — print the store's NDJSON stats line
+//!   (records/torn/corrupt/hits/misses/collisions/appended) on stderr
+//! * `--shard K/N`     — fill mode: run only grid points `i ≡ K (mod N)`
+//!   and append them to the store (requires `--store`; no stdout
+//!   artifacts) so N independent processes can split one campaign
+//! * `--merge`         — after shard fills, emit the canonical full-grid
+//!   artifacts from the store (alias for a plain `--store` run)
 //!
 //! A summary table and per-sweep wall-clock always go to stdout; a
 //! panicking grid point aborts with its scenario coordinates.
@@ -46,16 +60,16 @@ use std::process::exit;
 
 use ulp_bench::cosim::{run_cosim, CosimConfig, CosimSummary};
 use ulp_bench::dense::{self, DenseConfig};
-use ulp_bench::fleet::{self, Cell, Coords, Sweep, SweepObserver, SweepResults};
-use ulp_bench::perf::ProgressMeter;
+use ulp_bench::fleet::{self, Cell, Coords, Sweep, SweepResults};
+use ulp_bench::store::{drive, DriveConfig, Shard};
 use ulp_bench::TableWriter;
-use ulp_sim::telemetry::validate_json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fleet [--dense] [--nodes A[,B,..]] [--loss A[,B,..]] \
          [--density A[,B,..]] [--duty A[,B,..]] [--seeds N] [--slots N] \
-         [--threads N] [--csv FILE] [--json FILE] [--check] [--progress]"
+         [--threads N] [--csv FILE] [--json FILE] [--check] [--progress] \
+         [--store DIR] [--store-stats] [--shard K/N] [--merge]"
     );
     exit(2);
 }
@@ -127,42 +141,19 @@ fn build_sweep(
     sweep
 }
 
-/// Run a sweep with the shared `--check` / `--progress` machinery and
-/// return its (thread-count-invariant) results.
+/// Run a sweep through the shared campaign driver
+/// ([`ulp_bench::store::drive`]: `--check` / `--progress` / `--store` /
+/// `--shard`) and return its (thread-count-invariant) results.
 fn execute<P: Sync>(
     sweep: &Sweep<P>,
-    threads: usize,
-    check: bool,
-    progress: bool,
+    cfg: &DriveConfig,
+    key_of: impl Fn(&Coords, &P) -> String + Sync,
     eval: impl Fn(&Coords, &P) -> Vec<Cell> + Sync,
 ) -> SweepResults {
-    // A `--check` run executes the grid twice (serial, then parallel),
-    // so the heartbeat total is 2 × the grid size.
-    let meter_total = if check { 2 * sweep.len() } else { sweep.len() };
-    let meter = progress.then(|| ProgressMeter::stderr(sweep.name(), meter_total));
-    let observer: &dyn SweepObserver = match &meter {
-        Some(m) => m,
-        None => &(),
-    };
-    if check {
-        let (results, speedup) =
-            fleet::measure_speedup_observed(sweep, threads, eval, observer).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                exit(1);
-            });
-        if let Err(e) = validate_json(&results.to_json()) {
-            eprintln!("sweep JSON failed validation: {e}");
-            exit(1);
-        }
-        eprintln!("check ok: ULP_FLEET_THREADS=1 and ={threads} byte-identical, JSON well-formed");
-        eprintln!("check: {speedup}");
-        results
-    } else {
-        sweep.run_observed(threads, eval, observer).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            exit(1);
-        })
-    }
+    drive(sweep, cfg, key_of, eval).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    })
 }
 
 fn main() {
@@ -178,6 +169,10 @@ fn main() {
     let mut dense_mode = false;
     let mut check = false;
     let mut progress = false;
+    let mut store_dir: Option<String> = None;
+    let mut store_stats = false;
+    let mut shard: Option<Shard> = None;
+    let mut merge = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -200,6 +195,16 @@ fn main() {
             "--dense" => dense_mode = true,
             "--check" => check = true,
             "--progress" => progress = true,
+            "--store" => store_dir = Some(value("--store")),
+            "--store-stats" => store_stats = true,
+            "--shard" => {
+                let raw = value("--shard");
+                shard = Some(Shard::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("--shard: `{raw}` is not K/N with K < N");
+                    usage()
+                }));
+            }
+            "--merge" => merge = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -219,6 +224,26 @@ fn main() {
         eprintln!("empty grid");
         usage();
     }
+    if (shard.is_some() || merge) && store_dir.is_none() {
+        eprintln!("--shard/--merge need --store DIR (the shared campaign store)");
+        usage();
+    }
+    if shard.is_some() && (check || merge) {
+        eprintln!("--shard is a fill mode; run --check/--merge unsharded");
+        usage();
+    }
+    let drive_cfg = DriveConfig {
+        threads,
+        check,
+        progress,
+        store_dir: store_dir.map(Into::into),
+        store_stats,
+        shard,
+    };
+    // A shard worker only fills the store: its partial grid must not be
+    // mistaken for campaign output, so stdout artifacts are suppressed
+    // and the summary goes to stderr (from the driver).
+    let fill_only = shard.is_some();
 
     if dense_mode {
         let base_seed = DenseConfig::default().seed;
@@ -246,9 +271,11 @@ fn main() {
             sweep.len(),
             scenarios.len()
         );
-        let results = execute(&sweep, threads, check, progress, dense::dense_eval);
-        print!("{}", dense::dense_report(&results));
-        finish(&results, csv_path.as_deref(), json_path.as_deref());
+        let results = execute(&sweep, &drive_cfg, dense::dense_store_key, dense::dense_eval);
+        if !fill_only {
+            print!("{}", dense::dense_report(&results));
+            finish(&results, csv_path.as_deref(), json_path.as_deref());
+        }
         return;
     }
 
@@ -259,9 +286,15 @@ fn main() {
         sweep.len()
     );
 
-    let results = execute(&sweep, threads, check, progress, |_: &Coords, cfg| {
-        cells(&run_cosim(cfg))
-    });
+    let results = execute(
+        &sweep,
+        &drive_cfg,
+        |_: &Coords, cfg: &CosimConfig| cfg.store_key(),
+        |_: &Coords, cfg| cells(&run_cosim(cfg)),
+    );
+    if fill_only {
+        return;
+    }
 
     let mut t = TableWriter::new(&[
         "Nodes", "Loss", "Seed", "Sent", "Heard", "Lost", "Wakeups", "Energy", "p99",

@@ -109,6 +109,24 @@ impl Default for ChaosConfig {
     }
 }
 
+impl ChaosConfig {
+    /// Canonical description of everything that determines this point's
+    /// result, for the campaign store's content address
+    /// (`ulp_bench::store::canonical_key`). Covers *all* fields — the
+    /// sweep coordinates only expose app/rate/seed, but the horizon and
+    /// recovery budget change the verdicts just as surely.
+    pub fn store_key(&self) -> String {
+        format!(
+            "chaos:app={};rate={};seed={};horizon={};recovery={}",
+            self.app.name(),
+            self.fault_rate,
+            self.seed,
+            self.horizon,
+            self.recovery_budget
+        )
+    }
+}
+
 /// Scalar summary of one chaos point: one CSV row per grid point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosSummary {

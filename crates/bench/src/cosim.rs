@@ -63,6 +63,21 @@ impl Default for CosimConfig {
     }
 }
 
+impl CosimConfig {
+    /// Canonical description of everything that determines this point's
+    /// result, for the campaign store's content address
+    /// (`ulp_bench::store::canonical_key`). Covers *all* fields — the
+    /// sweep coordinates only expose nodes/loss/seed, but the horizon
+    /// and periods change the result just as surely.
+    pub fn store_key(&self) -> String {
+        format!(
+            "cosim:nodes={};loss={};seed={};slots={};head={};relay={}",
+            self.nodes, self.loss, self.seed, self.horizon_slots, self.head_period,
+            self.relay_period
+        )
+    }
+}
+
 /// Scalar summary of one co-simulation run: one CSV row per grid point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CosimSummary {

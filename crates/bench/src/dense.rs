@@ -449,6 +449,18 @@ pub fn dense_eval(_: &Coords, point: &(DenseConfig, usize)) -> Vec<Cell> {
     dense_cells(&run_tile(&point.0, point.1))
 }
 
+/// Canonical description of everything that determines one tile's
+/// result, for the campaign store's content address
+/// (`ulp_bench::store::canonical_key`). Covers *all* [`DenseConfig`]
+/// fields plus the tile index — the sweep coordinates omit the horizon.
+pub fn dense_store_key(_: &Coords, point: &(DenseConfig, usize)) -> String {
+    let (cfg, tile) = point;
+    format!(
+        "dense:nodes={};density={};duty={};slots={};seed={};tile={tile}",
+        cfg.nodes, cfg.density_per_ha, cfg.duty, cfg.horizon_slots, cfg.seed
+    )
+}
+
 /// Fold a scenario's rows (grid order = tile order) back into one
 /// [`DenseSummary`] per scenario, keyed by `(nodes, density, duty,
 /// seed)` coordinates in first-appearance order. Identical to calling

@@ -245,6 +245,12 @@ impl<P: Sync> Sweep<P> {
         self.points.iter()
     }
 
+    /// The metric column names (without the coordinate axes), for the
+    /// store's cache-aware execution path.
+    pub(crate) fn metric_columns(&self) -> &[String] {
+        &self.metric_columns
+    }
+
     /// Execute every point on `threads` workers and merge the results
     /// in grid order. The closure must be a pure function of its
     /// arguments for the determinism contract to hold, and must return
@@ -412,6 +418,26 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
+    /// Crate-internal assembler for `ulp_bench::store`'s cache-aware
+    /// execution path, which merges served and computed rows outside
+    /// [`Sweep::run`]. Callers are responsible for grid-order rows and
+    /// axis-consistent columns — exactly what `run_stored` guarantees.
+    pub(crate) fn from_parts(
+        name: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<Cell>>,
+        threads: usize,
+        elapsed: Duration,
+    ) -> SweepResults {
+        SweepResults {
+            name,
+            columns,
+            rows,
+            threads,
+            elapsed,
+        }
+    }
+
     /// The sweep's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -518,7 +544,7 @@ fn csv_escape(s: &str) -> String {
     }
 }
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {

@@ -36,6 +36,14 @@
 //! on the same numbers the binaries print, and the deterministic report
 //! text lives in [`report`] so `tests/golden.rs` can pin the binaries'
 //! output byte-for-byte against checked-in golden files.
+//!
+//! Because every sweep point is a pure function of its scenario, the
+//! campaign layer caches them: [`store`] is a content-addressed on-disk
+//! result store (checksummed NDJSON records, torn-tail repair,
+//! `--shard k/n` multi-process fills) whose cache-aware execution mode
+//! serves hits and computes misses while keeping the serialized bytes
+//! identical to a cold run — campaigns become resumable and re-runs
+//! touch only the dirty points.
 
 pub mod chaos;
 pub mod cosim;
@@ -46,6 +54,7 @@ pub mod mcu8check;
 pub mod measure;
 pub mod perf;
 pub mod report;
+pub mod store;
 pub mod table;
 pub mod tracegen;
 

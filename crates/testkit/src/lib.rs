@@ -17,13 +17,18 @@
 //!   reporting via `ULP_PROPTEST_SEED`.
 //! * [`mod@bench`] — a plain `std::time::Instant` micro-benchmark harness,
 //!   the default stand-in for Criterion in `ulp-bench`'s bench targets.
+//! * [`digest`] — a stable byte-serial 64-bit content digest
+//!   ([`Digest64`]), the keying and checksum primitive of the on-disk
+//!   campaign store (`ulp_bench::store`).
 //!
 //! See DESIGN.md §"Hermetic test substrate" for the substitution table.
 
 pub mod bench;
+pub mod digest;
 pub mod prop;
 pub mod rng;
 
+pub use digest::{digest64, Digest64};
 pub use prop::{
     any_bool, any_u16, any_u32, any_u64, any_u8, from_fn, just, vec_of, Config, Gen, SizeRange,
 };

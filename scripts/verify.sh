@@ -100,9 +100,35 @@ echo "== chaos: fault-injection campaign must be deterministic =="
 # --check runs the campaign twice (1 worker, then 2), asserts CSV/JSON
 # byte-identity (the campaign summary is a pure function of those rows),
 # validates the JSON, and — per grid point — asserts the graceful-
-# degradation invariants inline.
+# degradation invariants inline. Both binaries' --check also runs the
+# grid twice more through an ephemeral campaign store (cold fill, then
+# a reopened fully-warm serve) asserting the stored passes emit the
+# exact same bytes and the warm pass executes zero points — so the
+# verify gate above already exercises the store on the fleet grid too.
 cargo run -q --release -p ulp-bench --bin chaos --offline -- \
   --seeds 2 --horizon 15000 --threads 2 --check > /dev/null
+
+echo "== campaign store: sharded fill + merge must equal a plain run =="
+# Two shard workers fill one store (disjoint segment files, disjoint
+# grid points), then --merge serves the full grid from cache; its stdout
+# must be byte-identical to a storeless run, and the merge pass must
+# execute nothing (misses:0 in the --store-stats NDJSON line).
+store_dir="$trace_out/campaign-store"
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --nodes 16 --seeds 4 --slots 4000 --threads 2 \
+  > "$trace_out/fleet_nostore.out" 2> /dev/null
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --nodes 16 --seeds 4 --slots 4000 --threads 2 \
+  --store "$store_dir" --shard 0/2 > /dev/null 2>&1
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --nodes 16 --seeds 4 --slots 4000 --threads 2 \
+  --store "$store_dir" --shard 1/2 > /dev/null 2>&1
+cargo run -q --release -p ulp-bench --bin fleet --offline -- \
+  --nodes 16 --seeds 4 --slots 4000 --threads 2 \
+  --store "$store_dir" --merge --store-stats \
+  > "$trace_out/fleet_merge.out" 2> "$trace_out/fleet_merge.err"
+cmp "$trace_out/fleet_nostore.out" "$trace_out/fleet_merge.out"
+grep -q '"misses":0' "$trace_out/fleet_merge.err"
 
 echo "== bench smoke: one iteration per bench, BENCH JSON schema-checked =="
 # Test mode (no --bench flag) runs every benchmark body once and still
